@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``bench_utils`` module importable regardless of the
+# directory pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

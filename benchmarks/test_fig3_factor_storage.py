@@ -1,0 +1,136 @@
+"""Figure 3 — sparse vs dense factor storage in the explicit assembly.
+
+Heat transfer 3D, SYRK path: per-subdomain assembly-kernel time as a function
+of the subdomain size, for all four combinations of factor storage
+(sparse/dense) and CUDA generation (legacy/modern).
+
+The small sizes are measured with the full simulated pipeline; the larger
+sizes (up to 2¹⁴ DOFs, spanning the paper's 12k-DOF crossover) are evaluated
+from the symbolic factorization + the kernel cost model only, which is what
+drives the measured times anyway and keeps the pure-Python benchmark cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+import scipy.sparse as sp
+
+from bench_utils import BENCH_MACHINE, SUBDOMAIN_SIZES, build_problem
+from repro.analysis.reporting import format_series
+from repro.feti.config import (
+    AssemblyConfig,
+    DualOperatorApproach,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+)
+from repro.feti.operators import make_dual_operator
+from repro.fem.heat import HeatTransferProblem
+from repro.fem.mesh import structured_mesh
+from repro.gpu.costmodel import CudaVersion, GpuCostModel
+from repro.sparse import symbolic_cholesky
+
+
+APPROACHES = {
+    CudaVersion.LEGACY: DualOperatorApproach.EXPLICIT_GPU_LEGACY,
+    CudaVersion.MODERN: DualOperatorApproach.EXPLICIT_GPU_MODERN,
+}
+
+#: Cells per subdomain edge used for the model-extrapolated tail of the sweep.
+EXTRAPOLATED_CELLS = (12, 16, 20, 24)
+
+
+def _measured_point(cells: int, storage: FactorStorage, version: CudaVersion) -> tuple[int, float]:
+    problem = build_problem(3, cells)
+    order = FactorOrder.ROW_MAJOR if storage is FactorStorage.SPARSE else FactorOrder.COL_MAJOR
+    config = AssemblyConfig(
+        path=Path.SYRK,
+        forward_factor_storage=storage,
+        backward_factor_storage=storage,
+        forward_factor_order=order,
+        backward_factor_order=order,
+        rhs_order=RhsOrder.ROW_MAJOR,
+    )
+    operator = make_dual_operator(
+        APPROACHES[version], problem, machine_config=BENCH_MACHINE, assembly_config=config
+    )
+    operator.prepare()
+    operator.preprocess()
+    breakdown = operator.ledger.last("preprocessing").breakdown
+    kernel_seconds = (
+        breakdown.get("sparse_to_dense", 0.0)
+        + breakdown.get("trsm", 0.0)
+        + breakdown.get("syrk", 0.0)
+    ) / problem.n_subdomains
+    return problem.subdomains[0].ndofs, kernel_seconds
+
+
+def _modelled_point(cells: int, storage: FactorStorage, version: CudaVersion) -> tuple[int, float]:
+    """Kernel-time estimate from the symbolic factorization and the cost model."""
+    mesh = structured_mesh(3, cells, order=1)
+    K = HeatTransferProblem().assemble_stiffness(mesh)
+    symbolic = symbolic_cholesky(K + sp.identity(K.shape[0]) * float(abs(K).mean()))
+    n = mesh.nnodes
+    # Lagrange multipliers of an interior subdomain: its six faces.
+    n_lambda = 6 * (cells + 1) ** 2
+    model = GpuCostModel()
+    if storage is FactorStorage.SPARSE:
+        trsm = model.sparse_trsm(symbolic.nnz, n, n_lambda, version)
+        convert = 0.0
+    else:
+        trsm = model.dense_trsm(n, n_lambda)
+        convert = model.sparse_to_dense(n, n, symbolic.nnz)
+    rhs_convert = model.sparse_to_dense(n, n_lambda, 2 * n_lambda)
+    syrk = model.syrk(n_lambda, n)
+    return n, rhs_convert + convert + trsm + syrk
+
+
+def test_fig3_factor_storage(benchmark, capsys):
+    series = {}
+    for version in CudaVersion:
+        for storage in FactorStorage:
+            points = []
+            for cells in SUBDOMAIN_SIZES[3]:
+                points.append(_measured_point(cells, storage, version))
+            for cells in EXTRAPOLATED_CELLS:
+                points.append(_modelled_point(cells, storage, version))
+            label = f"{storage.value}, {version.value}"
+            series[label] = [(float(n), t * 1e3) for n, t in points]
+
+    print()
+    print(
+        format_series(
+            series,
+            x_label="DOFs per subdomain",
+            y_label="time per subdomain [ms]",
+            title="Figure 3 (regenerated): heat 3D, SYRK path, factor storage",
+        )
+    )
+
+    # Shape checks from the paper:
+    # (1) with modern CUDA, dense storage beats sparse storage (for all but
+    #     the tiniest subdomains, where every kernel is launch-bound);
+    for (n_dense, t_dense), (n_sparse, t_sparse) in zip(
+        series[f"dense, {CudaVersion.MODERN.value}"],
+        series[f"sparse, {CudaVersion.MODERN.value}"],
+    ):
+        if n_dense >= 200:
+            assert t_dense < t_sparse
+    # (2) the legacy sparse TRSM is far better than the modern sparse TRSM;
+    for (_, t_legacy), (_, t_modern) in zip(
+        series[f"sparse, {CudaVersion.LEGACY.value}"],
+        series[f"sparse, {CudaVersion.MODERN.value}"],
+    ):
+        assert t_legacy < t_modern
+    # (3) with legacy CUDA, sparse storage eventually wins for large 3D
+    #     subdomains (the ~12k-DOF crossover).
+    legacy_sparse = series[f"sparse, {CudaVersion.LEGACY.value}"]
+    legacy_dense = series[f"dense, {CudaVersion.LEGACY.value}"]
+    assert legacy_sparse[-1][1] < legacy_dense[-1][1]
+
+    benchmark.pedantic(
+        lambda: _measured_point(SUBDOMAIN_SIZES[3][0], FactorStorage.DENSE, CudaVersion.MODERN),
+        rounds=1,
+        iterations=1,
+    )

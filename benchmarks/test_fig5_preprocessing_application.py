@@ -1,0 +1,96 @@
+"""Figure 5 — preprocessing and application time of all nine approaches.
+
+Heat transfer 2D and 3D, subdomain-size sweep: per-subdomain simulated time
+of (a/c) the FETI preprocessing and (b/d) one dual-operator application for
+every approach of Table III.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import SUBDOMAIN_SIZES, build_problem, measure_all_approaches
+from repro.analysis.reporting import format_series
+from repro.feti.config import DualOperatorApproach
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_fig5_preprocessing_and_application(benchmark, dim, capsys):
+    preprocessing: dict[str, list[tuple[float, float]]] = {
+        a.value: [] for a in DualOperatorApproach
+    }
+    application: dict[str, list[tuple[float, float]]] = {
+        a.value: [] for a in DualOperatorApproach
+    }
+    for cells in SUBDOMAIN_SIZES[dim]:
+        problem = build_problem(dim, cells)
+        dofs = float(problem.subdomains[0].ndofs)
+        for approach, (pre, app) in measure_all_approaches(dim, cells).items():
+            preprocessing[approach.value].append((dofs, pre * 1e3))
+            application[approach.value].append((dofs, app * 1e3))
+
+    print()
+    print(
+        format_series(
+            preprocessing,
+            x_label="DOFs per subdomain",
+            y_label="time per subdomain [ms]",
+            title=f"Figure 5 (regenerated): heat {dim}D, preprocessing",
+        )
+    )
+    print(
+        format_series(
+            application,
+            x_label="DOFs per subdomain",
+            y_label="time per subdomain [ms]",
+            title=f"Figure 5 (regenerated): heat {dim}D, application",
+        )
+    )
+
+    largest = SUBDOMAIN_SIZES[dim][-1]
+    timings = measure_all_approaches(dim, largest)
+
+    def pre(a):
+        return timings[a][0]
+
+    def app(a):
+        return timings[a][1]
+
+    # Paper shapes reproduced at the largest measured size:
+    # (1) implicit preprocessing is cheaper than the matching explicit one;
+    assert pre(DualOperatorApproach.IMPLICIT_MKL) < pre(DualOperatorApproach.EXPLICIT_MKL)
+    assert pre(DualOperatorApproach.IMPLICIT_CHOLMOD) < pre(
+        DualOperatorApproach.EXPLICIT_CHOLMOD
+    )
+    # (2) MKL PARDISO factorizes faster than CHOLMOD (implicit preprocessing);
+    assert pre(DualOperatorApproach.IMPLICIT_MKL) <= pre(
+        DualOperatorApproach.IMPLICIT_CHOLMOD
+    )
+    # (3) the CHOLMOD-based explicit CPU assembly is the slowest explicit CPU
+    #     approach (it cannot exploit the sparsity of B);
+    assert pre(DualOperatorApproach.EXPLICIT_CHOLMOD) >= pre(
+        DualOperatorApproach.EXPLICIT_MKL
+    )
+    # (4) the hybrid approach copies the expl-mkl preprocessing trend;
+    assert pre(DualOperatorApproach.EXPLICIT_HYBRID) >= pre(
+        DualOperatorApproach.EXPLICIT_MKL
+    )
+    # (5) explicit application beats implicit application on the same device;
+    assert app(DualOperatorApproach.EXPLICIT_MKL) < app(DualOperatorApproach.IMPLICIT_MKL)
+    assert app(DualOperatorApproach.EXPLICIT_GPU_MODERN) < app(
+        DualOperatorApproach.IMPLICIT_GPU_MODERN
+    )
+    # (6) the two explicit CPU approaches apply at the same speed (same F̃ᵢ);
+    assert app(DualOperatorApproach.EXPLICIT_MKL) == pytest.approx(
+        app(DualOperatorApproach.EXPLICIT_CHOLMOD), rel=0.05
+    )
+    # (7) the hybrid application matches the explicit GPU application.
+    assert app(DualOperatorApproach.EXPLICIT_HYBRID) == pytest.approx(
+        app(DualOperatorApproach.EXPLICIT_GPU_MODERN), rel=0.25
+    )
+
+    benchmark.pedantic(
+        lambda: measure_all_approaches(dim, SUBDOMAIN_SIZES[dim][0]),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Figure 6 — total dual-operator time of the best approach vs iterations.
+
+For every subdomain size the total time ``preprocessing + k · application``
+is evaluated for all nine approaches over a sweep of PCPG iteration counts
+``k``; the plotted line is the minimum (the best approach), annotated with
+which approach wins where — this is the plot used to choose the dual-operator
+approach for a given problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import SUBDOMAIN_SIZES, approach_timings, build_problem
+from repro.analysis.amortization import best_approach_curve
+from repro.analysis.reporting import format_series
+
+ITERATIONS = np.array([1, 3, 10, 30, 100, 300, 1000, 3000, 10000])
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_fig6_best_dual_operator(benchmark, dim, capsys):
+    series = {}
+    winners_small_k = {}
+    winners_large_k = {}
+    for cells in SUBDOMAIN_SIZES[dim]:
+        problem = build_problem(dim, cells)
+        dofs = problem.subdomains[0].ndofs
+        curve = best_approach_curve(
+            approach_timings(dim, cells), ITERATIONS, baseline="impl mkl"
+        )
+        series[f"{dofs} DOFs"] = [
+            (float(k), t * 1e3) for k, t in zip(curve.iterations, curve.best_times)
+        ]
+        winners_small_k[dofs] = curve.best_names[0]
+        winners_large_k[dofs] = curve.best_names[-1]
+
+    print()
+    print(
+        format_series(
+            series,
+            x_label="number of iterations",
+            y_label="time per subdomain [ms]",
+            title=f"Figure 6 (regenerated): best dual operator, heat {dim}D",
+        )
+    )
+    print("best approach at k=1:     ", winners_small_k)
+    print("best approach at k=10000: ", winners_large_k)
+
+    # Paper shapes: for a handful of iterations the implicit CPU approach
+    # (MKL PARDISO) wins; for many iterations an explicit approach wins.
+    # The implicit-wins-at-k=1 statement is checked at the largest measured
+    # subdomain size — for the tiniest subdomains the per-call overhead of
+    # the implicit application already exceeds the whole explicit assembly,
+    # a boundary effect of the Python-scale sizes (see EXPERIMENTS.md).
+    largest_dofs = max(winners_small_k)
+    assert winners_small_k[largest_dofs].startswith("impl")
+    assert all(name.startswith("expl") for name in winners_large_k.values())
+    # total time is non-decreasing in the iteration count
+    for points in series.values():
+        times = [t for _, t in points]
+        assert all(b >= a - 1e-12 for a, b in zip(times, times[1:]))
+
+    benchmark.pedantic(
+        lambda: best_approach_curve(
+            approach_timings(dim, SUBDOMAIN_SIZES[dim][0]), ITERATIONS
+        ),
+        rounds=1,
+        iterations=1,
+    )

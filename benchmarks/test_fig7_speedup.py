@@ -1,0 +1,73 @@
+"""Figure 7 — speedup of the best dual-operator approach over `impl mkl`.
+
+Same sweep as Figure 6, but normalized by the traditional implicit CPU
+approach: the curves show how much the dual-operator part of the FETI solver
+gains from choosing the best (typically explicit / GPU) approach as the
+number of PCPG iterations grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import SUBDOMAIN_SIZES, approach_timings, build_problem
+from repro.analysis.amortization import (
+    ApproachTiming,
+    amortization_point,
+    best_approach_curve,
+)
+from repro.analysis.reporting import format_series
+
+ITERATIONS = np.array([1, 3, 10, 30, 100, 300, 1000, 3000, 10000])
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_fig7_speedup_of_best_approach(benchmark, dim, capsys):
+    series = {}
+    final_speedups = {}
+    amortization = {}
+    for cells in SUBDOMAIN_SIZES[dim]:
+        problem = build_problem(dim, cells)
+        dofs = problem.subdomains[0].ndofs
+        timings = approach_timings(dim, cells)
+        curve = best_approach_curve(timings, ITERATIONS, baseline="impl mkl")
+        series[f"{dofs} DOFs"] = [
+            (float(k), s) for k, s in zip(curve.iterations, curve.speedups)
+        ]
+        final_speedups[dofs] = float(curve.speedups[-1])
+        baseline = next(t for t in timings if t.name == "impl mkl")
+        best_explicit = min(
+            (t for t in timings if t.name.startswith("expl")),
+            key=lambda t: t.application_seconds,
+        )
+        amortization[dofs] = amortization_point(best_explicit, baseline)
+
+    print()
+    print(
+        format_series(
+            series,
+            x_label="number of iterations",
+            y_label="speedup vs impl mkl",
+            title=f"Figure 7 (regenerated): heat {dim}D",
+        )
+    )
+    print("asymptotic speedup per subdomain size:", final_speedups)
+    print("amortization point of the best explicit approach:", amortization)
+
+    # Shape checks: speedup never drops below ~1 for large iteration counts
+    # and is non-decreasing in the iteration count; the largest subdomains
+    # eventually gain from an explicit approach.
+    for points in series.values():
+        speedups = np.array([s for _, s in points])
+        assert np.all(np.diff(speedups) >= -1e-9)
+        assert speedups[0] >= 0.999  # the baseline itself is always available
+    assert max(final_speedups.values()) > 1.0
+
+    benchmark.pedantic(
+        lambda: best_approach_curve(
+            approach_timings(dim, SUBDOMAIN_SIZES[dim][0]), ITERATIONS
+        ).speedups,
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,44 @@
+"""Table I — overview of the explicit-assembly parameters.
+
+Regenerates the parameter/options table from the implemented configuration
+space and checks it matches the paper's seven parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.feti.config import ASSEMBLY_PARAMETER_SPACE, AssemblyConfig
+
+
+def _render_table_1() -> str:
+    rows = []
+    labels = {
+        "path": "Path",
+        "forward_factor_storage": "Forward solve factor storage",
+        "backward_factor_storage": "Backward solve factor storage",
+        "forward_factor_order": "Forward solve factor order",
+        "backward_factor_order": "Backward solve factor order",
+        "rhs_order": "RHS memory order",
+        "scatter_gather": "Scatter and gather",
+    }
+    for key, options in ASSEMBLY_PARAMETER_SPACE.items():
+        rows.append([labels[key], ", ".join(o.value for o in options)])
+    return format_table(["Setting", "Options"], rows, title="Table I (regenerated)")
+
+
+def test_table1_parameter_space(benchmark, capsys):
+    table = benchmark(_render_table_1)
+    print()
+    print(table)
+    assert "Path" in table and "trsm, syrk" in table
+    assert "Scatter and gather" in table and "cpu, gpu" in table
+    # the full space enumerates 2^7 = 128 raw combinations, as swept by Fig. 2
+    total = 1
+    for options in ASSEMBLY_PARAMETER_SPACE.values():
+        total *= len(options)
+    assert total == 128
+    # the default configuration is a valid point of the space
+    cfg = AssemblyConfig()
+    assert cfg.path in ASSEMBLY_PARAMETER_SPACE["path"]

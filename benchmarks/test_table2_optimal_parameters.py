@@ -1,0 +1,112 @@
+"""Table II — optimal parameters of the explicit assembly.
+
+Re-runs a (reduced) exhaustive sweep of the assembly parameter space for both
+CUDA generations and both dimensionalities, picks the fastest configuration,
+and compares it with the Table-II recommendation implemented in
+:func:`repro.feti.autotune.recommend_assembly_config`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import BENCH_MACHINE, SUBDOMAIN_SIZES, build_problem
+from repro.analysis.reporting import format_table
+from repro.feti.autotune import exhaustive_parameter_search, recommend_assembly_config
+from repro.feti.config import (
+    AssemblyConfig,
+    CudaLibraryVersion,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+)
+
+
+def _swept_configs() -> list[AssemblyConfig]:
+    """The sub-space that drives Table II: path × storage × RHS order."""
+    configs = []
+    for path in Path:
+        for storage in FactorStorage:
+            for rhs in RhsOrder:
+                order = (
+                    FactorOrder.ROW_MAJOR
+                    if storage is FactorStorage.SPARSE
+                    else FactorOrder.COL_MAJOR
+                )
+                configs.append(
+                    AssemblyConfig(
+                        path=path,
+                        forward_factor_storage=storage,
+                        backward_factor_storage=storage,
+                        forward_factor_order=order,
+                        backward_factor_order=order,
+                        rhs_order=rhs,
+                    )
+                )
+    return configs
+
+
+@pytest.mark.parametrize("cuda", list(CudaLibraryVersion))
+def test_table2_optimal_parameters(benchmark, cuda, capsys):
+    rows = []
+    winners = {}
+    for dim in (2, 3):
+        cells = SUBDOMAIN_SIZES[dim][1]
+        problem = build_problem(dim, cells)
+        results = exhaustive_parameter_search(
+            problem, cuda, machine_config=BENCH_MACHINE, configs=_swept_configs()
+        )
+        best = results[0]
+        winners[dim] = best.config
+        rows.append(
+            [
+                f"{dim}D",
+                cuda.value,
+                best.config.path.value,
+                best.config.forward_factor_storage.value,
+                best.config.forward_factor_order.value,
+                best.config.rhs_order.value,
+                f"{best.total * 1e3:.3f} ms",
+            ]
+        )
+    table = format_table(
+        ["problem", "CUDA", "path", "factor storage", "factor order", "RHS order", "best total"],
+        rows,
+        title=f"Table II (regenerated, measured sweep, CUDA {cuda.value})",
+    )
+    print()
+    print(table)
+    recommended_rows = []
+    for dim in (2, 3):
+        rec = recommend_assembly_config(
+            cuda, dim, build_problem(dim, SUBDOMAIN_SIZES[dim][1]).subdomains[0].ndofs
+        )
+        recommended_rows.append(
+            [f"{dim}D", rec.path.value, rec.forward_factor_storage.value, rec.rhs_order.value]
+        )
+    print(
+        format_table(
+            ["problem", "path", "factor storage", "RHS order"],
+            recommended_rows,
+            title="Table II (paper recommendation as implemented)",
+        )
+    )
+
+    # Headline agreement: the SYRK path wins the sweep, as in the paper.
+    assert all(cfg.path is Path.SYRK for cfg in winners.values())
+    # For modern CUDA the dense factor storage must win (underperforming
+    # generic sparse TRSM) — the paper's strongest Table-II statement.
+    if cuda is CudaLibraryVersion.MODERN:
+        assert all(
+            cfg.forward_factor_storage is FactorStorage.DENSE for cfg in winners.values()
+        )
+
+    benchmark.pedantic(
+        lambda: exhaustive_parameter_search(
+            build_problem(2, SUBDOMAIN_SIZES[2][0]), cuda,
+            machine_config=BENCH_MACHINE, configs=_swept_configs()[:4],
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""Auto-tuning the explicit GPU assembly (Table II in action).
+
+The explicit assembly of the local dual operators has a seven-parameter
+configuration space (Table I).  This example shows both ways of choosing the
+parameters:
+
+* the Table-II recommendation implemented by
+  :func:`repro.feti.autotune.recommend_assembly_config`, and
+* a measured exhaustive sweep on the actual problem
+  (:func:`repro.feti.autotune.exhaustive_parameter_search`), which is what
+  the paper did to derive Table II in the first place.
+
+Run with:  python examples/autotune_assembly.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.cluster.topology import MachineConfig
+from repro.decomposition import decompose_box
+from repro.fem.heat import HeatTransferProblem
+from repro.feti.autotune import exhaustive_parameter_search, recommend_assembly_config
+from repro.feti.config import AssemblyConfig, CudaLibraryVersion, FactorStorage, Path, RhsOrder
+from repro.feti.problem import FetiProblem
+
+
+def main() -> None:
+    decomposition = decompose_box(
+        dim=3, subdomains_per_dim=(2, 1, 1), cells_per_subdomain=5, order=1
+    )
+    problem = FetiProblem.from_physics(
+        HeatTransferProblem(), decomposition, dirichlet_faces=("xmin",)
+    )
+    machine = MachineConfig(threads_per_cluster=4, streams_per_cluster=4)
+    dofs = problem.subdomains[0].ndofs
+    print(f"3D heat transfer, {dofs} DOFs per subdomain\n")
+
+    # --- Table II recommendation ------------------------------------------
+    rows = []
+    for cuda in CudaLibraryVersion:
+        cfg = recommend_assembly_config(cuda, dim=3, dofs_per_subdomain=dofs)
+        rows.append([cuda.value, cfg.path.value, cfg.forward_factor_storage.value,
+                     cfg.forward_factor_order.value, cfg.rhs_order.value])
+    print(format_table(
+        ["CUDA", "path", "factor storage", "factor order", "RHS order"],
+        rows, title="Table II recommendation for this problem"))
+
+    # --- measured sweep -----------------------------------------------------
+    candidates = [
+        AssemblyConfig(path=path, forward_factor_storage=storage,
+                       backward_factor_storage=storage, rhs_order=rhs)
+        for path in Path
+        for storage in FactorStorage
+        for rhs in RhsOrder
+    ]
+    for cuda in CudaLibraryVersion:
+        results = exhaustive_parameter_search(
+            problem, cuda, machine_config=machine, configs=candidates
+        )
+        rows = [
+            [m.config.path.value, m.config.forward_factor_storage.value,
+             m.config.rhs_order.value,
+             f"{m.preprocessing_seconds * 1e3:.3f}", f"{m.application_seconds * 1e6:.1f}"]
+            for m in results[:4]
+        ]
+        print()
+        print(format_table(
+            ["path", "factor storage", "RHS order", "preprocessing [ms]", "application [us]"],
+            rows,
+            title=f"Best measured configurations, CUDA {cuda.value} (top 4 of {len(results)})",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Amortization and speedup analytics (Figures 6 and 7).
+
+The total dual-operator time of a time step is
+
+    ``T(approach, k) = T_preprocessing(approach) + k · T_application(approach)``
+
+for ``k`` PCPG iterations.  Figure 6 plots, for every subdomain size, the
+time of the *best* approach as a function of ``k``; Figure 7 plots the
+speedup of that best approach relative to the implicit MKL CPU baseline.  The
+*amortization point* of an explicit approach is the smallest ``k`` at which
+it beats the implicit baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ApproachTiming",
+    "AmortizationCurve",
+    "total_time",
+    "best_approach_curve",
+    "speedup_curve",
+    "amortization_point",
+]
+
+
+@dataclass(frozen=True)
+class ApproachTiming:
+    """Preprocessing / per-application times of one dual-operator approach."""
+
+    name: str
+    preprocessing_seconds: float
+    application_seconds: float
+
+    def total(self, iterations: int | np.ndarray) -> np.ndarray:
+        """Total time for a given number of iterations."""
+        return self.preprocessing_seconds + np.asarray(iterations) * self.application_seconds
+
+
+@dataclass
+class AmortizationCurve:
+    """Best-approach curve for one subdomain size (one line of Fig. 6/7)."""
+
+    iterations: np.ndarray
+    best_times: np.ndarray
+    best_names: list[str]
+    baseline_times: np.ndarray
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Speedup of the best approach over the baseline."""
+        return self.baseline_times / self.best_times
+
+
+def total_time(timing: ApproachTiming, iterations: int | np.ndarray) -> np.ndarray:
+    """Total dual-operator time of an approach after ``iterations`` applications."""
+    return timing.total(iterations)
+
+
+def best_approach_curve(
+    timings: list[ApproachTiming],
+    iterations: np.ndarray,
+    baseline: str = "impl mkl",
+) -> AmortizationCurve:
+    """Compute the best-approach curve over a range of iteration counts.
+
+    Parameters
+    ----------
+    timings:
+        Timings of all candidate approaches (must include the baseline).
+    iterations:
+        Iteration counts (the X axis of Figures 6/7).
+    baseline:
+        Name of the baseline approach for the speedup computation.
+    """
+    iterations = np.asarray(iterations)
+    matrix = np.stack([t.total(iterations) for t in timings], axis=0)
+    best_idx = np.argmin(matrix, axis=0)
+    best_times = matrix[best_idx, np.arange(iterations.size)]
+    best_names = [timings[i].name for i in best_idx]
+    base = next((t for t in timings if t.name == baseline), None)
+    if base is None:
+        raise ValueError(f"baseline approach {baseline!r} not among the timings")
+    return AmortizationCurve(
+        iterations=iterations,
+        best_times=best_times,
+        best_names=best_names,
+        baseline_times=base.total(iterations),
+    )
+
+
+def speedup_curve(
+    timings: list[ApproachTiming],
+    iterations: np.ndarray,
+    baseline: str = "impl mkl",
+) -> np.ndarray:
+    """Speedup of the best approach relative to the baseline (Fig. 7)."""
+    return best_approach_curve(timings, iterations, baseline).speedups
+
+
+def amortization_point(
+    candidate: ApproachTiming,
+    baseline: ApproachTiming,
+    max_iterations: int = 10_000_000,
+) -> int | None:
+    """Smallest iteration count at which ``candidate`` beats ``baseline``.
+
+    Returns ``None`` if the candidate never becomes faster (its application
+    is not faster than the baseline's).
+    """
+    delta_pre = candidate.preprocessing_seconds - baseline.preprocessing_seconds
+    delta_app = baseline.application_seconds - candidate.application_seconds
+    if delta_app <= 0.0:
+        return None if delta_pre > 0.0 else 0
+    k = int(np.ceil(delta_pre / delta_app))
+    k = max(k, 0)
+    return k if k <= max_iterations else None

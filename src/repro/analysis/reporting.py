@@ -1,0 +1,53 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmarks print the regenerated tables and figure data in a format
+close to the paper's: fixed-width tables for Tables I–III and ``(x, y)``
+series per line style for the figures, so the output can be diffed between
+runs and eyeballed against the published plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render named ``(x, y)`` series (one figure line each) as text."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}]  ({x_label} -> {y_label})")
+        for x, y in points:
+            lines.append(f"    {x:>12.6g}  {y:>{precision + 8}.{precision}g}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Cluster runtime: the mapping of subdomains to processes, threads and GPUs.
+
+The paper runs one MPI process per cluster of subdomains, with one GPU per
+process and one OpenMP thread (and CUDA stream) per core.  This package
+models that topology: a :class:`Machine` describes the per-cluster resources
+(thread count, stream count, the simulated GPU and the CPU/GPU cost models),
+and :class:`ClusterResources` is what the dual-operator implementations
+receive to run their parallel subdomain loops and submit GPU work.
+"""
+
+from repro.cluster.topology import ClusterResources, Machine, MachineConfig
+
+__all__ = ["ClusterResources", "Machine", "MachineConfig"]

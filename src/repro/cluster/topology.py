@@ -1,0 +1,137 @@
+"""Machine and cluster resource description.
+
+The default configuration mirrors a single NUMA domain of the Karolina GPU
+node used in the paper: 16 CPU cores (= OpenMP threads), one A100 GPU with
+16 CUDA streams, CUDA either "legacy" (11.7) or "modern" (12.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpu.costmodel import CudaVersion, GpuCostModel
+from repro.gpu.device import Device, DeviceProperties
+from repro.gpu.stream import Stream
+from repro.sparse.costmodel import CpuCostModel
+
+__all__ = ["MachineConfig", "ClusterResources", "Machine"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the per-cluster resources.
+
+    Attributes
+    ----------
+    threads_per_cluster:
+        OpenMP threads handling the subdomains of one cluster.
+    streams_per_cluster:
+        CUDA streams (the paper uses one per thread).
+    cuda_version:
+        CUDA library generation of the simulated device.
+    gpu_memory_bytes:
+        Device memory capacity (40 GB on the A100 of the paper).
+    cpu_cost_model, gpu_cost_model:
+        The analytic cost models driving the simulated clocks.
+    """
+
+    threads_per_cluster: int = 16
+    streams_per_cluster: int = 16
+    cuda_version: CudaVersion = CudaVersion.MODERN
+    gpu_memory_bytes: int = 40 * 1024**3
+    cpu_cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    gpu_cost_model: GpuCostModel = field(default_factory=GpuCostModel)
+
+    def with_cuda(self, version: CudaVersion) -> "MachineConfig":
+        """A copy of the configuration with a different CUDA generation."""
+        return replace(self, cuda_version=version)
+
+
+@dataclass
+class ClusterResources:
+    """Resources owned by one cluster (one simulated MPI process).
+
+    The device is created lazily — CPU-only dual operators never touch it.
+    """
+
+    cluster_id: int
+    config: MachineConfig
+
+    def __post_init__(self) -> None:
+        self._device: Device | None = None
+        self._streams: list[Stream] = []
+
+    @property
+    def n_threads(self) -> int:
+        """OpenMP threads of the cluster."""
+        return self.config.threads_per_cluster
+
+    @property
+    def cpu(self) -> CpuCostModel:
+        """The CPU cost model."""
+        return self.config.cpu_cost_model
+
+    @property
+    def has_device(self) -> bool:
+        """Whether the GPU has been instantiated."""
+        return self._device is not None
+
+    @property
+    def device(self) -> Device:
+        """The cluster's simulated GPU (created on first access)."""
+        if self._device is None:
+            self._device = Device(
+                properties=DeviceProperties(
+                    memory_capacity_bytes=self.config.gpu_memory_bytes,
+                    default_stream_count=self.config.streams_per_cluster,
+                ),
+                cuda_version=self.config.cuda_version,
+                cost_model=self.config.gpu_cost_model,
+            )
+            self._streams = self._device.create_streams(self.config.streams_per_cluster)
+        return self._device
+
+    @property
+    def streams(self) -> list[Stream]:
+        """The cluster's CUDA streams."""
+        _ = self.device
+        return self._streams
+
+    def stream_for(self, item_index: int) -> Stream:
+        """Stream used for a given subdomain (one stream per thread)."""
+        streams = self.streams
+        return streams[item_index % len(streams)]
+
+    def reset_gpu_timeline(self) -> None:
+        """Reset the stream timelines (between benchmark repetitions)."""
+        if self._device is not None:
+            self._device.reset_timeline()
+
+
+@dataclass
+class Machine:
+    """All clusters of a run (the paper: one per MPI process / GPU)."""
+
+    n_clusters: int
+    config: MachineConfig = field(default_factory=MachineConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        self.clusters = [
+            ClusterResources(cluster_id=i, config=self.config)
+            for i in range(self.n_clusters)
+        ]
+
+    def cluster(self, cluster_id: int) -> ClusterResources:
+        """Resources of one cluster."""
+        return self.clusters[cluster_id]
+
+    @classmethod
+    def for_decomposition(
+        cls, decomposition, config: MachineConfig | None = None
+    ) -> "Machine":
+        """Create a machine with one cluster per decomposition cluster."""
+        return cls(
+            n_clusters=decomposition.n_clusters, config=config or MachineConfig()
+        )

@@ -1,0 +1,26 @@
+"""Finite-element substrate.
+
+Structured simplicial meshes on the unit square / cube, reference elements
+(linear and quadratic triangles and tetrahedra), quadrature rules, and
+assembly of the two physics used throughout the paper's evaluation:
+steady-state heat transfer (scalar Laplace) and linear elasticity.
+"""
+
+from repro.fem.mesh import Mesh, structured_mesh
+from repro.fem.elements import ReferenceElement, get_reference_element
+from repro.fem.quadrature import QuadratureRule, simplex_quadrature
+from repro.fem.heat import HeatTransferProblem
+from repro.fem.elasticity import LinearElasticityProblem
+from repro.fem.boundary import dirichlet_dofs
+
+__all__ = [
+    "Mesh",
+    "structured_mesh",
+    "ReferenceElement",
+    "get_reference_element",
+    "QuadratureRule",
+    "simplex_quadrature",
+    "HeatTransferProblem",
+    "LinearElasticityProblem",
+    "dirichlet_dofs",
+]

@@ -1,0 +1,62 @@
+"""Dirichlet boundary condition helpers.
+
+In Total FETI the Dirichlet conditions are *not* eliminated from the
+subdomain stiffness matrices — they are appended to the gluing matrix ``B``
+and the dual right-hand side ``c`` instead, which keeps every subdomain
+matrix singular.  This module only identifies the constrained DOFs; the
+constraint rows themselves are built in :mod:`repro.decomposition.gluing`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.fem.mesh import Mesh
+
+__all__ = ["dirichlet_dofs", "node_dofs"]
+
+
+def node_dofs(nodes: np.ndarray, dofs_per_node: int) -> np.ndarray:
+    """Expand node indices into DOF indices (node-interleaved numbering)."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return (
+        dofs_per_node * nodes[:, None] + np.arange(dofs_per_node)[None, :]
+    ).ravel()
+
+
+def dirichlet_dofs(
+    mesh: Mesh,
+    faces: Sequence[str],
+    dofs_per_node: int = 1,
+    components: Sequence[int] | None = None,
+) -> np.ndarray:
+    """DOF indices constrained by homogeneous Dirichlet conditions.
+
+    Parameters
+    ----------
+    mesh:
+        The (sub)domain mesh.
+    faces:
+        Box faces carrying the condition, e.g. ``("xmin",)`` or
+        ``("xmin", "xmax")``.
+    dofs_per_node:
+        1 for heat transfer, ``dim`` for elasticity.
+    components:
+        For vector problems, which displacement components to constrain
+        (default: all of them).
+    """
+    nodes: list[np.ndarray] = [mesh.boundary_nodes(face) for face in faces]
+    if not nodes:
+        return np.empty(0, dtype=np.int64)
+    unique_nodes = np.unique(np.concatenate(nodes))
+    comps = (
+        np.arange(dofs_per_node)
+        if components is None
+        else np.asarray(sorted(set(components)), dtype=np.int64)
+    )
+    if comps.size and (comps.min() < 0 or comps.max() >= dofs_per_node):
+        raise ValueError("components out of range")
+    dofs = (dofs_per_node * unique_nodes[:, None] + comps[None, :]).ravel()
+    return np.sort(dofs)

@@ -1,0 +1,114 @@
+"""Linear elasticity problem definition (plane strain in 2D).
+
+The second physics of the paper's evaluation.  Floating subdomains have a
+rigid-body-mode kernel: 3 modes in 2D (two translations + one rotation) and
+6 modes in 3D (three translations + three rotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.assembly import (
+    assemble_elasticity_load,
+    assemble_elasticity_stiffness,
+)
+from repro.fem.mesh import Mesh
+
+__all__ = ["LinearElasticityProblem"]
+
+
+@dataclass(frozen=True)
+class LinearElasticityProblem:
+    """Small-strain linear elasticity with a constant body force.
+
+    Attributes
+    ----------
+    young:
+        Young's modulus.
+    poisson:
+        Poisson ratio (must satisfy ``-1 < nu < 0.5``).
+    body_force:
+        Constant body force; its length must match the mesh dimension at
+        assembly time (trailing components are truncated / zero-padded).
+    """
+
+    young: float = 1.0
+    poisson: float = 0.3
+    body_force: tuple[float, ...] = (0.0, -1.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if not -1.0 < self.poisson < 0.5:
+            raise ValueError("Poisson ratio must lie in (-1, 0.5)")
+
+    @property
+    def name(self) -> str:
+        """Short physics identifier used in benchmark labels."""
+        return "elasticity"
+
+    def dofs_per_node_for(self, mesh: Mesh) -> int:
+        """DOFs per node (the mesh dimension)."""
+        return mesh.dim
+
+    # The decomposition layer queries ``dofs_per_node`` on the problem: for
+    # elasticity it depends on the mesh, so expose a helper with a clear error.
+    @property
+    def dofs_per_node(self) -> int:  # pragma: no cover - guard path
+        raise AttributeError(
+            "LinearElasticityProblem.dofs_per_node depends on the mesh; "
+            "use dofs_per_node_for(mesh)"
+        )
+
+    def ndofs(self, mesh: Mesh) -> int:
+        """Total DOFs of a mesh."""
+        return mesh.nnodes * mesh.dim
+
+    def _force_for(self, mesh: Mesh) -> np.ndarray:
+        force = np.zeros(mesh.dim)
+        take = min(mesh.dim, len(self.body_force))
+        force[:take] = np.asarray(self.body_force[:take], dtype=float)
+        return force
+
+    def assemble_stiffness(self, mesh: Mesh) -> sp.csr_matrix:
+        """Subdomain stiffness matrix (singular for a floating subdomain)."""
+        return assemble_elasticity_stiffness(
+            mesh, young=self.young, poisson=self.poisson
+        )
+
+    def assemble_load(self, mesh: Mesh) -> np.ndarray:
+        """Subdomain load vector."""
+        return assemble_elasticity_load(mesh, body_force=self._force_for(mesh))
+
+    def kernel_basis(self, mesh: Mesh) -> np.ndarray:
+        """Orthonormal rigid-body-mode basis of a floating subdomain.
+
+        Returns an array of shape ``(ndofs, 3)`` in 2D and ``(ndofs, 6)`` in
+        3D (translations followed by rotations about the subdomain centroid).
+        """
+        dim = mesh.dim
+        coords = mesh.coords - mesh.coords.mean(axis=0, keepdims=True)
+        n = mesh.nnodes
+        nmodes = 3 if dim == 2 else 6
+        basis = np.zeros((n * dim, nmodes))
+        for d in range(dim):
+            basis[d::dim, d] = 1.0
+        if dim == 2:
+            # Rotation about z: (-y, x)
+            basis[0::2, 2] = -coords[:, 1]
+            basis[1::2, 2] = coords[:, 0]
+        else:
+            x, y, z = coords[:, 0], coords[:, 1], coords[:, 2]
+            # Rotation about x: (0, -z, y)
+            basis[1::3, 3] = -z
+            basis[2::3, 3] = y
+            # Rotation about y: (z, 0, -x)
+            basis[0::3, 4] = z
+            basis[2::3, 4] = -x
+            # Rotation about z: (-y, x, 0)
+            basis[0::3, 5] = -y
+            basis[1::3, 5] = x
+        q, _ = np.linalg.qr(basis)
+        return q

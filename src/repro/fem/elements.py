@@ -1,0 +1,148 @@
+"""Reference simplicial elements (linear and quadratic).
+
+The node ordering convention is:
+
+* vertices first, in the order given by the cell connectivity,
+* then one mid-edge node per element edge, in the order of
+  :attr:`ReferenceElement.edges`.
+
+The same edge ordering is used by :mod:`repro.fem.mesh` when generating the
+mid-edge nodes of quadratic meshes, so the connectivity arrays produced there
+can be consumed directly by the assembly routines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["ReferenceElement", "get_reference_element"]
+
+# Edge-local vertex pairs, shared between the reference elements and the mesh
+# generator (mid-edge node creation must match the shape-function ordering).
+TRIANGLE_EDGES: tuple[tuple[int, int], ...] = ((0, 1), (1, 2), (2, 0))
+TETRAHEDRON_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (1, 2),
+    (1, 3),
+    (2, 3),
+)
+
+
+@dataclass(frozen=True)
+class ReferenceElement:
+    """A reference simplex element with Lagrange shape functions.
+
+    Attributes
+    ----------
+    dim:
+        Spatial dimension (2 or 3).
+    order:
+        Polynomial order (1 or 2).
+    nnodes:
+        Number of local nodes (3/6 for triangles, 4/10 for tetrahedra).
+    edges:
+        Local vertex pairs defining the element edges; quadratic elements
+        place one mid-edge node per entry, appended after the vertices.
+    """
+
+    dim: int
+    order: int
+    nnodes: int
+    edges: tuple[tuple[int, int], ...] = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Shape functions                                                     #
+    # ------------------------------------------------------------------ #
+    def shape_functions(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate shape functions at reference ``points``.
+
+        Parameters
+        ----------
+        points:
+            Array of shape ``(npts, dim)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(npts, nnodes)``.
+        """
+        points = np.asarray(points, dtype=float)
+        lam = self._barycentric(points)
+        if self.order == 1:
+            return lam
+        vert = lam * (2.0 * lam - 1.0)
+        mids = np.stack(
+            [4.0 * lam[:, a] * lam[:, b] for a, b in self.edges], axis=1
+        )
+        return np.concatenate([vert, mids], axis=1)
+
+    def shape_gradients(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate reference-coordinate gradients of the shape functions.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(npts, nnodes, dim)``.
+        """
+        points = np.asarray(points, dtype=float)
+        npts = points.shape[0]
+        lam = self._barycentric(points)
+        dlam = self._barycentric_gradients()  # (nverts, dim)
+        if self.order == 1:
+            return np.broadcast_to(dlam, (npts, *dlam.shape)).copy()
+        nverts = dlam.shape[0]
+        grads = np.empty((npts, self.nnodes, self.dim))
+        # d/dx [ L_i (2 L_i - 1) ] = (4 L_i - 1) dL_i
+        grads[:, :nverts, :] = (4.0 * lam - 1.0)[:, :, None] * dlam[None, :, :]
+        for k, (a, b) in enumerate(self.edges):
+            grads[:, nverts + k, :] = 4.0 * (
+                lam[:, a, None] * dlam[None, b, :] + lam[:, b, None] * dlam[None, a, :]
+            )
+        return grads
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                             #
+    # ------------------------------------------------------------------ #
+    def _barycentric(self, points: np.ndarray) -> np.ndarray:
+        """Barycentric coordinates ``(npts, nverts)`` of reference points."""
+        first = 1.0 - points.sum(axis=1, keepdims=True)
+        return np.concatenate([first, points], axis=1)
+
+    def _barycentric_gradients(self) -> np.ndarray:
+        """Constant gradients of the barycentric coordinates, ``(nverts, dim)``."""
+        grad = np.zeros((self.dim + 1, self.dim))
+        grad[0, :] = -1.0
+        grad[1:, :] = np.eye(self.dim)
+        return grad
+
+    @property
+    def quadrature_degree(self) -> int:
+        """Quadrature degree required for exact stiffness integration on
+        affine elements (gradients are degree ``order - 1``)."""
+        return max(1, 2 * (self.order - 1))
+
+
+@lru_cache(maxsize=None)
+def get_reference_element(dim: int, order: int) -> ReferenceElement:
+    """Return the reference element for ``dim``-dimensional simplices.
+
+    Parameters
+    ----------
+    dim:
+        2 (triangle) or 3 (tetrahedron).
+    order:
+        1 (linear) or 2 (quadratic Lagrange).
+    """
+    if dim not in (2, 3):
+        raise ValueError(f"unsupported dimension: {dim}")
+    if order not in (1, 2):
+        raise ValueError(f"unsupported element order: {order}")
+    edges = TRIANGLE_EDGES if dim == 2 else TETRAHEDRON_EDGES
+    nverts = dim + 1
+    nnodes = nverts if order == 1 else nverts + len(edges)
+    return ReferenceElement(dim=dim, order=order, nnodes=nnodes, edges=edges)

@@ -1,0 +1,309 @@
+"""Structured simplicial meshes on axis-aligned boxes.
+
+The paper's evaluation uses square (2D, triangles) and cube (3D, tetrahedra)
+domains discretized on a regular grid.  This module generates such meshes,
+both linear and quadratic, and keeps an integer *lattice coordinate* per node
+so that nodes of independently generated subdomain meshes can be matched
+exactly on the interfaces (the basis of the gluing matrices in
+:mod:`repro.decomposition`).
+
+The lattice unit is half of the grid cell size in every direction: grid
+vertices sit on even lattice coordinates, mid-edge nodes of quadratic meshes
+on odd ones.  Two nodes of two different subdomain meshes represent the same
+physical DOF if and only if their lattice coordinates are equal, provided the
+subdomains were generated with the same *global* cell size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fem.elements import ReferenceElement, get_reference_element
+
+__all__ = ["Mesh", "structured_mesh"]
+
+
+@dataclass
+class Mesh:
+    """An unstructured view of a structured simplicial mesh.
+
+    Attributes
+    ----------
+    dim:
+        Spatial dimension (2 or 3).
+    order:
+        Element order (1 linear, 2 quadratic).
+    coords:
+        Node coordinates, shape ``(nnodes, dim)``.
+    cells:
+        Cell connectivity, shape ``(ncells, nodes_per_cell)``; vertices first,
+        then mid-edge nodes in the reference-element edge order.
+    lattice:
+        Integer lattice coordinates of every node, shape ``(nnodes, dim)``.
+        Globally unique across subdomain meshes generated with the same
+        global cell size.
+    origin, box_size:
+        The axis-aligned box covered by the mesh.
+    ncells_per_dim:
+        Number of grid cells per direction.
+    """
+
+    dim: int
+    order: int
+    coords: np.ndarray
+    cells: np.ndarray
+    lattice: np.ndarray
+    origin: np.ndarray
+    box_size: np.ndarray
+    ncells_per_dim: tuple[int, ...]
+    _reference: ReferenceElement = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._reference = get_reference_element(self.dim, self.order)
+        if self.cells.shape[1] != self._reference.nnodes:
+            raise ValueError(
+                f"cell connectivity has {self.cells.shape[1]} nodes per cell, "
+                f"expected {self._reference.nnodes}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnodes(self) -> int:
+        """Number of mesh nodes."""
+        return self.coords.shape[0]
+
+    @property
+    def ncells(self) -> int:
+        """Number of cells (simplices)."""
+        return self.cells.shape[0]
+
+    @property
+    def reference_element(self) -> ReferenceElement:
+        """The reference element shared by every cell."""
+        return self._reference
+
+    # ------------------------------------------------------------------ #
+    def boundary_nodes(self, face: str | None = None, tol: float = 1e-12) -> np.ndarray:
+        """Return indices of nodes on the box boundary.
+
+        Parameters
+        ----------
+        face:
+            ``None`` for the whole boundary, otherwise one of ``"xmin"``,
+            ``"xmax"``, ``"ymin"``, ``"ymax"``, ``"zmin"``, ``"zmax"``.
+        """
+        lo = self.origin
+        hi = self.origin + self.box_size
+        if face is None:
+            on = np.zeros(self.nnodes, dtype=bool)
+            for d in range(self.dim):
+                on |= np.abs(self.coords[:, d] - lo[d]) <= tol
+                on |= np.abs(self.coords[:, d] - hi[d]) <= tol
+            return np.nonzero(on)[0]
+        axis = {"x": 0, "y": 1, "z": 2}[face[0]]
+        if axis >= self.dim:
+            raise ValueError(f"face {face!r} invalid for a {self.dim}D mesh")
+        value = lo[axis] if face.endswith("min") else hi[axis]
+        return np.nonzero(np.abs(self.coords[:, axis] - value) <= tol)[0]
+
+    def cell_volumes(self) -> np.ndarray:
+        """Volumes (areas in 2D) of all cells."""
+        verts = self.coords[self.cells[:, : self.dim + 1]]
+        edges = verts[:, 1:, :] - verts[:, :1, :]
+        det = np.linalg.det(edges)
+        factor = 2.0 if self.dim == 2 else 6.0
+        return np.abs(det) / factor
+
+    def total_volume(self) -> float:
+        """Total mesh volume."""
+        return float(self.cell_volumes().sum())
+
+
+# ---------------------------------------------------------------------- #
+# Generation                                                              #
+# ---------------------------------------------------------------------- #
+def _grid_vertices(ncells: tuple[int, ...]) -> np.ndarray:
+    """Integer grid-vertex multi-indices, shape ``(nverts, dim)``, x fastest."""
+    axes = [np.arange(n + 1) for n in ncells]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack([g.ravel(order="C") for g in grids], axis=1)
+
+
+def _vertex_index(multi: np.ndarray, ncells: tuple[int, ...]) -> np.ndarray:
+    """Flat index of grid-vertex multi-indices (matching :func:`_grid_vertices`)."""
+    dims = np.array([n + 1 for n in ncells])
+    idx = multi[..., 0].copy()
+    for d in range(1, len(ncells)):
+        idx = idx * dims[d] + multi[..., d]
+    return idx
+
+
+def _triangulate_square(ncells: tuple[int, int]) -> np.ndarray:
+    nx, ny = ncells
+    i, j = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    i = i.ravel()
+    j = j.ravel()
+    corners = np.stack(
+        [
+            np.stack([i, j], axis=1),
+            np.stack([i + 1, j], axis=1),
+            np.stack([i, j + 1], axis=1),
+            np.stack([i + 1, j + 1], axis=1),
+        ],
+        axis=1,
+    )  # (ncells, 4, 2): v00, v10, v01, v11
+    vid = _vertex_index(corners, ncells)
+    v00, v10, v01, v11 = vid[:, 0], vid[:, 1], vid[:, 2], vid[:, 3]
+    tri1 = np.stack([v00, v10, v11], axis=1)
+    tri2 = np.stack([v00, v11, v01], axis=1)
+    return np.concatenate([tri1, tri2], axis=0)
+
+
+_KUHN_PERMS = (
+    (0, 1, 2),
+    (0, 2, 1),
+    (1, 0, 2),
+    (1, 2, 0),
+    (2, 0, 1),
+    (2, 1, 0),
+)
+
+
+def _tetrahedralize_cube(ncells: tuple[int, int, int]) -> np.ndarray:
+    nx, ny, nz = ncells
+    i, j, k = np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij")
+    base = np.stack([i.ravel(), j.ravel(), k.ravel()], axis=1)  # (ncubes, 3)
+    tets = []
+    for perm in _KUHN_PERMS:
+        # Path from the cube's low corner to the high corner along axes in the
+        # order given by ``perm`` — the classic Kuhn/Freudenthal subdivision.
+        p0 = base
+        p1 = base.copy()
+        p1[:, perm[0]] += 1
+        p2 = p1.copy()
+        p2[:, perm[1]] += 1
+        p3 = p2.copy()
+        p3[:, perm[2]] += 1
+        tet = np.stack(
+            [
+                _vertex_index(p0, ncells),
+                _vertex_index(p1, ncells),
+                _vertex_index(p2, ncells),
+                _vertex_index(p3, ncells),
+            ],
+            axis=1,
+        )
+        tets.append(tet)
+    return np.concatenate(tets, axis=0)
+
+
+def _add_midedge_nodes(
+    cells: np.ndarray,
+    lattice: np.ndarray,
+    edges_local: tuple[tuple[int, int], ...],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Append mid-edge nodes for a quadratic mesh.
+
+    Returns the extended connectivity (vertices followed by mid-edge nodes in
+    the reference edge order) and the extended lattice coordinate array.
+    """
+    nverts_total = lattice.shape[0]
+    edge_pairs = np.concatenate(
+        [np.sort(cells[:, pair], axis=1) for pair in edges_local], axis=0
+    )  # (ncells * nedges, 2)
+    unique_edges, inverse = np.unique(edge_pairs, axis=0, return_inverse=True)
+    mid_lattice = (lattice[unique_edges[:, 0]] + lattice[unique_edges[:, 1]]) // 2
+    new_lattice = np.concatenate([lattice, mid_lattice], axis=0)
+    ncells = cells.shape[0]
+    mid_ids = (nverts_total + inverse).reshape(len(edges_local), ncells).T
+    new_cells = np.concatenate([cells, mid_ids], axis=1)
+    return new_cells, new_lattice
+
+
+def structured_mesh(
+    dim: int,
+    ncells_per_dim: int | tuple[int, ...],
+    order: int = 1,
+    origin: tuple[float, ...] | None = None,
+    box_size: tuple[float, ...] | None = None,
+    global_cell_size: tuple[float, ...] | None = None,
+    lattice_offset: tuple[int, ...] | None = None,
+) -> Mesh:
+    """Generate a structured simplicial mesh on an axis-aligned box.
+
+    Parameters
+    ----------
+    dim:
+        2 (triangles) or 3 (tetrahedra).
+    ncells_per_dim:
+        Number of grid cells per direction (an int is broadcast).
+    order:
+        Element order: 1 (linear) or 2 (quadratic).
+    origin, box_size:
+        The box covered by the mesh.  Defaults to the unit box at the origin.
+    global_cell_size:
+        Cell size of the *global* grid this mesh is part of.  Defaults to the
+        local cell size; subdomain meshes must pass the global value so their
+        lattice coordinates are consistent across subdomains.
+    lattice_offset:
+        Lattice coordinate of the mesh origin (in lattice units, i.e. half
+        global cells).  Defaults to the origin divided by half the global
+        cell size.
+    """
+    if dim not in (2, 3):
+        raise ValueError(f"unsupported dimension: {dim}")
+    if order not in (1, 2):
+        raise ValueError(f"unsupported order: {order}")
+    if np.isscalar(ncells_per_dim):
+        ncells = tuple([int(ncells_per_dim)] * dim)
+    else:
+        ncells = tuple(int(n) for n in ncells_per_dim)
+        if len(ncells) != dim:
+            raise ValueError("ncells_per_dim length must equal dim")
+    if any(n < 1 for n in ncells):
+        raise ValueError("each direction needs at least one cell")
+
+    origin_arr = np.zeros(dim) if origin is None else np.asarray(origin, dtype=float)
+    size_arr = np.ones(dim) if box_size is None else np.asarray(box_size, dtype=float)
+    if origin_arr.shape != (dim,) or size_arr.shape != (dim,):
+        raise ValueError("origin/box_size must have length dim")
+    cell_size = size_arr / np.array(ncells, dtype=float)
+    if global_cell_size is None:
+        global_cell = cell_size
+    else:
+        global_cell = np.asarray(global_cell_size, dtype=float)
+
+    vertex_multi = _grid_vertices(ncells)  # (nverts, dim)
+    if lattice_offset is None:
+        offset = np.rint(origin_arr / (global_cell / 2.0)).astype(np.int64)
+    else:
+        offset = np.asarray(lattice_offset, dtype=np.int64)
+    # Lattice unit is half the *global* cell; the local cell spans
+    # ``2 * cell_size / global_cell`` lattice units per direction (an integer
+    # in the intended use where the local and global cell sizes coincide).
+    step = np.rint(2.0 * cell_size / global_cell).astype(np.int64)
+    lattice = offset[None, :] + vertex_multi * step[None, :]
+
+    if dim == 2:
+        cells = _triangulate_square(ncells)  # type: ignore[arg-type]
+    else:
+        cells = _tetrahedralize_cube(ncells)  # type: ignore[arg-type]
+
+    ref = get_reference_element(dim, order)
+    if order == 2:
+        cells, lattice = _add_midedge_nodes(cells, lattice, ref.edges)
+
+    coords = origin_arr[None, :] + (lattice - offset[None, :]) * (cell_size / step)[None, :]
+
+    return Mesh(
+        dim=dim,
+        order=order,
+        coords=coords,
+        cells=np.ascontiguousarray(cells, dtype=np.int64),
+        lattice=np.ascontiguousarray(lattice, dtype=np.int64),
+        origin=origin_arr,
+        box_size=size_arr,
+        ncells_per_dim=ncells,
+    )

@@ -1,0 +1,133 @@
+"""Quadrature rules on reference simplices.
+
+Only simplex rules are needed: the structured meshes produced by
+:mod:`repro.fem.mesh` consist of straight-sided triangles and tetrahedra, so
+the element Jacobian is constant and the stiffness integrand of a P2 element
+is a polynomial of degree two.  Rules of exactness degree 1 and 2 therefore
+suffice for every matrix assembled in this package; higher-degree rules are
+provided for completeness (load vectors with non-constant sources, tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuadratureRule", "simplex_quadrature"]
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A quadrature rule on the reference simplex.
+
+    Attributes
+    ----------
+    dim:
+        Spatial dimension of the simplex (2 for triangles, 3 for tetrahedra).
+    points:
+        Array of shape ``(npoints, dim)`` with barycentric-free reference
+        coordinates (the first vertex of the simplex is the origin).
+    weights:
+        Array of shape ``(npoints,)``; the weights sum to the reference
+        simplex volume (1/2 in 2D, 1/6 in 3D).
+    degree:
+        Highest polynomial degree integrated exactly.
+    """
+
+    dim: int
+    points: np.ndarray
+    weights: np.ndarray
+    degree: int
+
+    @property
+    def npoints(self) -> int:
+        """Number of quadrature points."""
+        return self.points.shape[0]
+
+
+def _triangle_rule(degree: int) -> QuadratureRule:
+    if degree <= 1:
+        pts = np.array([[1.0 / 3.0, 1.0 / 3.0]])
+        wts = np.array([0.5])
+        deg = 1
+    elif degree == 2:
+        pts = np.array(
+            [
+                [1.0 / 6.0, 1.0 / 6.0],
+                [2.0 / 3.0, 1.0 / 6.0],
+                [1.0 / 6.0, 2.0 / 3.0],
+            ]
+        )
+        wts = np.full(3, 1.0 / 6.0)
+        deg = 2
+    else:
+        # Degree-4 rule (6 points, Dunavant).
+        a1, a2 = 0.445948490915965, 0.091576213509771
+        w1, w2 = 0.223381589678011, 0.109951743655322
+        pts = np.array(
+            [
+                [a1, a1],
+                [1.0 - 2.0 * a1, a1],
+                [a1, 1.0 - 2.0 * a1],
+                [a2, a2],
+                [1.0 - 2.0 * a2, a2],
+                [a2, 1.0 - 2.0 * a2],
+            ]
+        )
+        wts = 0.5 * np.array([w1, w1, w1, w2, w2, w2])
+        deg = 4
+    return QuadratureRule(dim=2, points=pts, weights=wts, degree=deg)
+
+
+def _tetrahedron_rule(degree: int) -> QuadratureRule:
+    if degree <= 1:
+        pts = np.array([[0.25, 0.25, 0.25]])
+        wts = np.array([1.0 / 6.0])
+        deg = 1
+    elif degree == 2:
+        a = (5.0 - np.sqrt(5.0)) / 20.0
+        b = (5.0 + 3.0 * np.sqrt(5.0)) / 20.0
+        pts = np.array(
+            [
+                [a, a, a],
+                [b, a, a],
+                [a, b, a],
+                [a, a, b],
+            ]
+        )
+        wts = np.full(4, 1.0 / 24.0)
+        deg = 2
+    else:
+        # Degree-3 rule (5 points, Keast); the negative-weight point is the
+        # centroid.  Sufficient for quadratic load vectors.
+        pts = np.array(
+            [
+                [0.25, 0.25, 0.25],
+                [1.0 / 6.0, 1.0 / 6.0, 1.0 / 6.0],
+                [0.5, 1.0 / 6.0, 1.0 / 6.0],
+                [1.0 / 6.0, 0.5, 1.0 / 6.0],
+                [1.0 / 6.0, 1.0 / 6.0, 0.5],
+            ]
+        )
+        wts = np.array([-4.0 / 5.0, 9.0 / 20.0, 9.0 / 20.0, 9.0 / 20.0, 9.0 / 20.0]) / 6.0
+        deg = 3
+    return QuadratureRule(dim=3, points=pts, weights=wts, degree=deg)
+
+
+def simplex_quadrature(dim: int, degree: int) -> QuadratureRule:
+    """Return a quadrature rule on the reference simplex of dimension ``dim``.
+
+    Parameters
+    ----------
+    dim:
+        2 for the reference triangle, 3 for the reference tetrahedron.
+    degree:
+        Requested polynomial exactness.  The returned rule is exact at least
+        to this degree (the smallest rule satisfying it is chosen).
+    """
+    if dim == 2:
+        return _triangle_rule(degree)
+    if dim == 3:
+        return _tetrahedron_rule(degree)
+    raise ValueError(f"unsupported simplex dimension: {dim}")

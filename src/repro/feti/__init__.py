@@ -1,0 +1,58 @@
+"""Total FETI solver and the dual-operator zoo (the paper's contribution).
+
+The central object is the :class:`~repro.feti.problem.FetiProblem` — the torn
+system with per-subdomain stiffness matrices, gluing matrices and kernels —
+solved by :class:`~repro.feti.solver.FetiSolver` with the PCPG iteration of
+Algorithm 1.  The application of the dual operator ``F = B K⁺ Bᵀ`` inside
+PCPG is delegated to one of the nine approaches of Table III, implemented in
+:mod:`repro.feti.operators`, and the explicit GPU assembly is configured by
+:class:`~repro.feti.config.AssemblyConfig` (Table I) with the auto-tuning
+rules of Table II implemented in :mod:`repro.feti.autotune`.
+"""
+
+from repro.feti.config import (
+    AssemblyConfig,
+    CudaLibraryVersion,
+    DualOperatorApproach,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+    ScatterGatherDevice,
+)
+from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.feti.projector import Projector
+from repro.feti.preconditioner import (
+    DirichletPreconditioner,
+    IdentityPreconditioner,
+    LumpedPreconditioner,
+)
+from repro.feti.pcpg import PcpgOptions, PcpgResult, pcpg
+from repro.feti.solver import FetiSolver, FetiSolverOptions, MultiStepDriver
+from repro.feti.autotune import recommend_assembly_config
+from repro.feti.operators import make_dual_operator
+
+__all__ = [
+    "AssemblyConfig",
+    "CudaLibraryVersion",
+    "DualOperatorApproach",
+    "FactorOrder",
+    "FactorStorage",
+    "Path",
+    "RhsOrder",
+    "ScatterGatherDevice",
+    "FetiProblem",
+    "SubdomainProblem",
+    "Projector",
+    "IdentityPreconditioner",
+    "LumpedPreconditioner",
+    "DirichletPreconditioner",
+    "PcpgOptions",
+    "PcpgResult",
+    "pcpg",
+    "FetiSolver",
+    "FetiSolverOptions",
+    "MultiStepDriver",
+    "recommend_assembly_config",
+    "make_dual_operator",
+]

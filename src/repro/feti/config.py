@@ -1,0 +1,201 @@
+"""Configuration enums and dataclasses of the dual-operator pipeline.
+
+* :class:`AssemblyConfig` is Table I of the paper — every parameter of the
+  explicit assembly of ``F̃ᵢ`` on the GPU.
+* :class:`DualOperatorApproach` is Table III — the nine implicit / explicit
+  CPU / GPU / hybrid approaches compared in the evaluation.
+* :class:`CudaLibraryVersion` mirrors the "legacy" (CUDA 11.7) vs "modern"
+  (CUDA 12.4) distinction and maps onto the GPU cost model's
+  :class:`~repro.gpu.costmodel.CudaVersion`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpu.costmodel import CudaVersion
+
+__all__ = [
+    "Path",
+    "FactorStorage",
+    "FactorOrder",
+    "RhsOrder",
+    "ScatterGatherDevice",
+    "CudaLibraryVersion",
+    "AssemblyConfig",
+    "DualOperatorApproach",
+    "ASSEMBLY_PARAMETER_SPACE",
+]
+
+
+class Path(enum.Enum):
+    """Matrix operations used to assemble ``F̃ᵢ`` for SPD systems (Table I)."""
+
+    TRSM = "trsm"  # two triangular solves + SpMM
+    SYRK = "syrk"  # one triangular solve + symmetric rank-k update
+
+
+class FactorStorage(enum.Enum):
+    """Storage of the triangular factors passed to the TRSM kernel."""
+
+    SPARSE = "sparse"  # cuSPARSE TRSM
+    DENSE = "dense"  # cuBLAS TRSM (after an on-device sparse→dense conversion)
+
+
+class FactorOrder(enum.Enum):
+    """Memory order of the factor (CSR/CSC for sparse, row/col for dense)."""
+
+    ROW_MAJOR = "row-major"
+    COL_MAJOR = "col-major"
+
+
+class RhsOrder(enum.Enum):
+    """Memory order of the dense right-hand side / solution matrices."""
+
+    ROW_MAJOR = "row-major"
+    COL_MAJOR = "col-major"
+
+
+class ScatterGatherDevice(enum.Enum):
+    """Where the dual-vector scatter/gather of the application runs."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class CudaLibraryVersion(enum.Enum):
+    """CUDA library generation (legacy 11.7 vs modern 12.4)."""
+
+    LEGACY = "legacy"
+    MODERN = "modern"
+
+    @property
+    def cuda_version(self) -> CudaVersion:
+        """The corresponding GPU cost-model version."""
+        return CudaVersion.LEGACY if self is CudaLibraryVersion.LEGACY else CudaVersion.MODERN
+
+
+@dataclass(frozen=True)
+class AssemblyConfig:
+    """Parameters of the explicit assembly of ``F̃ᵢ`` on the GPU (Table I).
+
+    Attributes
+    ----------
+    path:
+        TRSM (two triangular solves + SpMM) or SYRK (one triangular solve +
+        rank-k update); SYRK is only available for SPD systems.
+    forward_factor_storage, backward_factor_storage:
+        Sparse (cuSPARSE) or dense (cuBLAS) storage of the factor used by
+        the forward / backward solve.  The backward solve only exists on the
+        TRSM path.
+    forward_factor_order, backward_factor_order:
+        CSR/CSC (sparse) or row/col-major (dense) order of the factors.
+    rhs_order:
+        Memory order of the dense right-hand-side and solution matrices.
+    scatter_gather:
+        Whether the application-phase scatter/gather runs on CPU or GPU.
+    apply_symmetric:
+        Store only a triangle of ``F̃ᵢ`` and apply it with SYMV instead of
+        GEMV (the footnote of Section IV-B).
+    """
+
+    path: Path = Path.SYRK
+    forward_factor_storage: FactorStorage = FactorStorage.DENSE
+    backward_factor_storage: FactorStorage = FactorStorage.DENSE
+    forward_factor_order: FactorOrder = FactorOrder.COL_MAJOR
+    backward_factor_order: FactorOrder = FactorOrder.COL_MAJOR
+    rhs_order: RhsOrder = RhsOrder.ROW_MAJOR
+    scatter_gather: ScatterGatherDevice = ScatterGatherDevice.GPU
+    apply_symmetric: bool = True
+
+    def describe(self) -> str:
+        """Short human-readable description used in sweep reports."""
+        return (
+            f"path={self.path.value}, fwd={self.forward_factor_storage.value}/"
+            f"{self.forward_factor_order.value}, bwd={self.backward_factor_storage.value}/"
+            f"{self.backward_factor_order.value}, rhs={self.rhs_order.value}, "
+            f"sg={self.scatter_gather.value}"
+        )
+
+
+#: The full Table-I parameter space used by the exhaustive sweep (Fig. 2 /
+#: Table II).  ``apply_symmetric`` is kept fixed (it is a storage detail, not
+#: a Table-I parameter).
+ASSEMBLY_PARAMETER_SPACE: dict[str, tuple] = {
+    "path": tuple(Path),
+    "forward_factor_storage": tuple(FactorStorage),
+    "backward_factor_storage": tuple(FactorStorage),
+    "forward_factor_order": tuple(FactorOrder),
+    "backward_factor_order": tuple(FactorOrder),
+    "rhs_order": tuple(RhsOrder),
+    "scatter_gather": tuple(ScatterGatherDevice),
+}
+
+
+class DualOperatorApproach(enum.Enum):
+    """The nine dual-operator approaches of Table III."""
+
+    IMPLICIT_MKL = "impl mkl"
+    IMPLICIT_CHOLMOD = "impl cholmod"
+    IMPLICIT_GPU_LEGACY = "impl legacy"
+    IMPLICIT_GPU_MODERN = "impl modern"
+    EXPLICIT_MKL = "expl mkl"
+    EXPLICIT_CHOLMOD = "expl cholmod"
+    EXPLICIT_GPU_LEGACY = "expl legacy"
+    EXPLICIT_GPU_MODERN = "expl modern"
+    EXPLICIT_HYBRID = "expl hybrid"
+
+    @property
+    def is_explicit(self) -> bool:
+        """Whether the approach assembles ``F̃ᵢ`` explicitly."""
+        return self.value.startswith("expl")
+
+    @property
+    def uses_gpu(self) -> bool:
+        """Whether the approach touches the GPU at all."""
+        return self in {
+            DualOperatorApproach.IMPLICIT_GPU_LEGACY,
+            DualOperatorApproach.IMPLICIT_GPU_MODERN,
+            DualOperatorApproach.EXPLICIT_GPU_LEGACY,
+            DualOperatorApproach.EXPLICIT_GPU_MODERN,
+            DualOperatorApproach.EXPLICIT_HYBRID,
+        }
+
+    @property
+    def cuda_library(self) -> CudaLibraryVersion | None:
+        """The CUDA generation used, if any."""
+        if self in {
+            DualOperatorApproach.IMPLICIT_GPU_LEGACY,
+            DualOperatorApproach.EXPLICIT_GPU_LEGACY,
+        }:
+            return CudaLibraryVersion.LEGACY
+        if self in {
+            DualOperatorApproach.IMPLICIT_GPU_MODERN,
+            DualOperatorApproach.EXPLICIT_GPU_MODERN,
+            DualOperatorApproach.EXPLICIT_HYBRID,
+        }:
+            return CudaLibraryVersion.MODERN
+        return None
+
+    @property
+    def description(self) -> str:
+        """Table III description of the approach."""
+        return _APPROACH_DESCRIPTIONS[self]
+
+
+_APPROACH_DESCRIPTIONS = {
+    DualOperatorApproach.IMPLICIT_MKL: "the MKL PARDISO solver on CPU",
+    DualOperatorApproach.IMPLICIT_CHOLMOD: "the CHOLMOD solver on CPU",
+    DualOperatorApproach.IMPLICIT_GPU_LEGACY: "CUDA legacy with factors from CHOLMOD",
+    DualOperatorApproach.IMPLICIT_GPU_MODERN: "CUDA modern with factors from CHOLMOD",
+    DualOperatorApproach.EXPLICIT_MKL: (
+        "aug. incomplete fact. from MKL PARDISO on CPU"
+    ),
+    DualOperatorApproach.EXPLICIT_CHOLMOD: "TRSM with the CHOLMOD solver on CPU",
+    DualOperatorApproach.EXPLICIT_GPU_LEGACY: "CUDA legacy with factors from CHOLMOD",
+    DualOperatorApproach.EXPLICIT_GPU_MODERN: "CUDA modern with factors from CHOLMOD",
+    DualOperatorApproach.EXPLICIT_HYBRID: (
+        "assembly expl mkl, application CUDA modern"
+    ),
+}

@@ -1,0 +1,203 @@
+"""Common machinery of the dual-operator implementations.
+
+The base class owns the phase bookkeeping (simulated + wall time, recorded in
+a :class:`~repro.analysis.timing.TimingLedger`), the grouping of subdomains
+by cluster, and the generic pieces every approach needs: access to a CPU-side
+factorization for computing ``d = B K⁺ f − c`` and for recovering the primal
+solution, and the scatter/gather between the global dual vector and the
+per-subdomain local dual vectors.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import ClassVar
+
+import numpy as np
+
+from repro.analysis.timing import PhaseTiming, ThreadClocks, TimingLedger
+from repro.cluster.topology import ClusterResources, Machine
+from repro.feti.config import AssemblyConfig, DualOperatorApproach
+from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.sparse.solvers import SparseSolverBase
+
+__all__ = ["DualOperatorBase"]
+
+
+class DualOperatorBase(abc.ABC):
+    """Abstract base of the nine dual-operator approaches."""
+
+    #: Which Table-III approach the concrete class implements.
+    approach: ClassVar[DualOperatorApproach]
+
+    def __init__(
+        self,
+        problem: FetiProblem,
+        machine: Machine,
+        config: AssemblyConfig | None = None,
+    ) -> None:
+        self.problem = problem
+        self.machine = machine
+        self.config = config or AssemblyConfig()
+        self.ledger = TimingLedger()
+        self._prepared = False
+        self._preprocessed = False
+        #: Per-subdomain CPU factorizations (populated by subclasses); used
+        #: for the dual right-hand side and the primal recovery.
+        self._cpu_solvers: dict[int, SparseSolverBase] = {}
+
+    # ------------------------------------------------------------------ #
+    # Cluster helpers                                                     #
+    # ------------------------------------------------------------------ #
+    def subdomains_of_cluster(self, cluster_id: int) -> list[SubdomainProblem]:
+        """Subdomains owned by one cluster."""
+        return [s for s in self.problem.subdomains if s.cluster == cluster_id]
+
+    def cluster_resources(self, cluster_id: int) -> ClusterResources:
+        """Resources of one cluster."""
+        return self.machine.cluster(cluster_id)
+
+    def iter_clusters(self):
+        """Yield ``(resources, subdomains)`` for every cluster."""
+        for cluster in self.machine.clusters:
+            yield cluster, self.subdomains_of_cluster(cluster.cluster_id)
+
+    # ------------------------------------------------------------------ #
+    # Phase template methods                                              #
+    # ------------------------------------------------------------------ #
+    def prepare(self) -> PhaseTiming:
+        """Run the preparation phase (once per mesh)."""
+        wall0 = time.perf_counter()
+        sim, breakdown = self._prepare_impl()
+        phase = PhaseTiming(
+            name="preparation",
+            simulated_seconds=sim,
+            wall_seconds=time.perf_counter() - wall0,
+            breakdown=breakdown,
+        )
+        self._prepared = True
+        return self.ledger.record(phase)
+
+    def preprocess(self) -> PhaseTiming:
+        """Run the FETI preprocessing phase (once per time step)."""
+        if not self._prepared:
+            self.prepare()
+        wall0 = time.perf_counter()
+        sim, breakdown = self._preprocess_impl()
+        phase = PhaseTiming(
+            name="preprocessing",
+            simulated_seconds=sim,
+            wall_seconds=time.perf_counter() - wall0,
+            breakdown=breakdown,
+        )
+        self._preprocessed = True
+        return self.ledger.record(phase)
+
+    def apply(self, lam: np.ndarray) -> np.ndarray:
+        """Apply the dual operator ``q = F λ`` (once per PCPG iteration)."""
+        if not self._preprocessed:
+            raise RuntimeError("preprocess() must run before apply()")
+        lam = np.asarray(lam, dtype=float)
+        if lam.shape != (self.problem.n_lambda,):
+            raise ValueError(
+                f"dual vector has shape {lam.shape}, expected ({self.problem.n_lambda},)"
+            )
+        wall0 = time.perf_counter()
+        q, sim, breakdown = self._apply_impl(lam)
+        phase = PhaseTiming(
+            name="apply",
+            simulated_seconds=sim,
+            wall_seconds=time.perf_counter() - wall0,
+            breakdown=breakdown,
+        )
+        self.ledger.record(phase)
+        return q
+
+    __call__ = apply
+
+    # ------------------------------------------------------------------ #
+    # Abstract pieces                                                     #
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _prepare_impl(self) -> tuple[float, dict[str, float]]:
+        """Return (simulated seconds, breakdown)."""
+
+    @abc.abstractmethod
+    def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        """Return (simulated seconds, breakdown)."""
+
+    @abc.abstractmethod
+    def _apply_impl(self, lam: np.ndarray) -> tuple[np.ndarray, float, dict[str, float]]:
+        """Return (result, simulated seconds, breakdown)."""
+
+    # ------------------------------------------------------------------ #
+    # Timing accessors used by the benchmarks                             #
+    # ------------------------------------------------------------------ #
+    @property
+    def preparation_time(self) -> float:
+        """Simulated seconds of the last preparation phase."""
+        phase = self.ledger.last("preparation")
+        return phase.simulated_seconds if phase else 0.0
+
+    @property
+    def preprocessing_time(self) -> float:
+        """Simulated seconds of the last preprocessing phase."""
+        phase = self.ledger.last("preprocessing")
+        return phase.simulated_seconds if phase else 0.0
+
+    @property
+    def application_time(self) -> float:
+        """Mean simulated seconds of one dual-operator application."""
+        return self.ledger.mean("apply")
+
+    def preprocessing_time_per_subdomain(self) -> float:
+        """Preprocessing time divided by the number of subdomains."""
+        return self.preprocessing_time / max(1, self.problem.n_subdomains)
+
+    def application_time_per_subdomain(self) -> float:
+        """Application time divided by the number of subdomains."""
+        return self.application_time / max(1, self.problem.n_subdomains)
+
+    # ------------------------------------------------------------------ #
+    # K⁺ access (dual RHS and primal recovery)                            #
+    # ------------------------------------------------------------------ #
+    def kplus_solve(self, index: int, rhs: np.ndarray) -> np.ndarray:
+        """Apply the generalized inverse ``Kᵢ⁺`` of one subdomain."""
+        solver = self._cpu_solvers.get(index)
+        if solver is None or not solver.is_factorized:
+            raise RuntimeError(
+                "no CPU factorization available; run preprocess() first"
+            )
+        return solver.solve(rhs)
+
+    def dual_rhs(self) -> np.ndarray:
+        """Compute ``d = B K⁺ f − c`` using the per-subdomain factorizations."""
+        d = -np.array(self.problem.c, dtype=float, copy=True)
+        for sub in self.problem.subdomains:
+            z = self.kplus_solve(sub.index, sub.f)
+            np.add.at(d, sub.lambda_ids, sub.B @ z)
+        return d
+
+    def primal_solution(self, lam: np.ndarray, alpha: np.ndarray) -> list[np.ndarray]:
+        """Recover ``uᵢ = Kᵢ⁺ (fᵢ − B̃ᵢᵀ λ) + Rᵢ αᵢ``."""
+        offsets = self.problem.kernel_offsets
+        out = []
+        for sub in self.problem.subdomains:
+            rhs = sub.f - sub.B.T @ lam[sub.lambda_ids]
+            u = self.kplus_solve(sub.index, rhs)
+            a = alpha[offsets[sub.index] : offsets[sub.index + 1]]
+            out.append(u + sub.kernel @ a)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Misc                                                                #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge_cluster_times(times: list[float]) -> float:
+        """Clusters run on different processes: the phase time is the max."""
+        return max(times) if times else 0.0
+
+    def new_thread_clocks(self, cluster: ClusterResources) -> ThreadClocks:
+        """Fresh per-thread clocks for a cluster's parallel subdomain loop."""
+        return ThreadClocks(cluster.n_threads)

@@ -1,0 +1,491 @@
+"""Explicit GPU dual operator — the paper's contribution.
+
+`expl legacy` / `expl modern` in Table III: the local dual operators
+``F̃ᵢ = B̃ᵢ Kᵢ⁺ B̃ᵢᵀ`` are assembled **on the GPU** from the CHOLMOD factors
+and applied on the GPU with GEMV/SYMV.  The assembly pipeline follows
+Section IV-B/C of the paper and is fully configurable through
+:class:`~repro.feti.config.AssemblyConfig` (Table I):
+
+* **path** — ``SYRK`` (``F̃ᵢ = Wᵀ W`` with ``W = L⁻¹ B̃ᵢᵀ``) or ``TRSM``
+  (two triangular solves followed by an SpMM with ``B̃ᵢ``);
+* **factor storage** — sparse cuSPARSE TRSM or on-device sparse→dense
+  conversion followed by dense cuBLAS TRSM;
+* **factor order / RHS order** — memory orders, affecting workspace sizes
+  and kernel speed (especially for the legacy cuSPARSE API);
+* **scatter/gather** — whether the application-phase dual-vector
+  scatter/gather runs on the CPU or the GPU.
+
+Persistent device memory holds the sparse factors, ``B̃ᵢ``, ``F̃ᵢ`` and the
+dual vectors; dense factor copies, dense right-hand sides and kernel
+workspaces are taken from the blocking temporary arena for the duration of
+each subdomain's assembly, exactly as described in Section IV-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster.topology import ClusterResources, Machine
+from repro.feti.config import (
+    AssemblyConfig,
+    DualOperatorApproach,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+    ScatterGatherDevice,
+)
+from repro.feti.operators.base import DualOperatorBase
+from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.gpu import cublas, cusparse
+from repro.gpu.arrays import (
+    DeviceCsrMatrix,
+    DeviceDenseMatrix,
+    DeviceVector,
+    MatrixOrder,
+)
+from repro.gpu.cusparse import SparseTrsmPlan
+from repro.sparse.costmodel import CpuLibrary
+from repro.sparse.solvers import CholmodLikeSolver
+
+__all__ = ["ExplicitGpuDualOperator"]
+
+
+def _matrix_order(order: FactorOrder | RhsOrder) -> MatrixOrder:
+    return (
+        MatrixOrder.ROW_MAJOR
+        if order.value == "row-major"
+        else MatrixOrder.COL_MAJOR
+    )
+
+
+@dataclass
+class _GpuState:
+    """Per-subdomain persistent device structures."""
+
+    perm: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    device_B: DeviceCsrMatrix | None = None
+    device_factor: DeviceCsrMatrix | None = None
+    device_F: DeviceDenseMatrix | None = None
+    forward_plan: SparseTrsmPlan | None = None
+    backward_plan: SparseTrsmPlan | None = None
+    p_vec: DeviceVector | None = None
+    q_vec: DeviceVector | None = None
+    cluster_positions: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+@dataclass
+class _ClusterState:
+    """Per-cluster persistent device structures (GPU scatter/gather path)."""
+
+    lambda_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    dual_in: DeviceVector | None = None
+    dual_out: DeviceVector | None = None
+
+
+class ExplicitGpuDualOperator(DualOperatorBase):
+    """Explicit assembly and application of ``F̃ᵢ`` on the GPU."""
+
+    def __init__(
+        self,
+        problem: FetiProblem,
+        machine: Machine,
+        approach: DualOperatorApproach = DualOperatorApproach.EXPLICIT_GPU_MODERN,
+        config: AssemblyConfig | None = None,
+    ) -> None:
+        super().__init__(problem, machine, config)
+        if approach not in (
+            DualOperatorApproach.EXPLICIT_GPU_LEGACY,
+            DualOperatorApproach.EXPLICIT_GPU_MODERN,
+        ):
+            raise ValueError(f"not an explicit GPU approach: {approach}")
+        self.approach = approach
+        self._cpu_solvers = {s.index: CholmodLikeSolver() for s in problem.subdomains}
+        self._state = {s.index: _GpuState() for s in problem.subdomains}
+        self._cluster_state: dict[int, _ClusterState] = {}
+
+    # ------------------------------------------------------------------ #
+    # Preparation                                                         #
+    # ------------------------------------------------------------------ #
+    def _prepare_impl(self) -> tuple[float, dict[str, float]]:
+        cfg = self.config
+        breakdown = {"symbolic": 0.0, "persistent_upload": 0.0, "analysis": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                solver = self._cpu_solvers[sub.index]
+
+                symbolic = solver.analyze(sub.K_reg)
+                cost = cluster.cpu.symbolic_factorization(
+                    int(sub.K_reg.nnz), symbolic.nnz
+                )
+                clocks.advance(i, cost)
+                breakdown["symbolic"] += cost
+                state.perm = symbolic.perm
+
+                B_perm = sub.B[:, symbolic.perm].tocsr()
+                state.device_B, op = device.upload_sparse(
+                    B_perm, stream, clocks.now(i), label=f"B[{sub.index}]"
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["persistent_upload"] += op.duration
+
+                pattern = sp.csc_matrix(
+                    (
+                        np.zeros(symbolic.nnz),
+                        symbolic.row_idx.copy(),
+                        symbolic.col_ptr.copy(),
+                    ),
+                    shape=(symbolic.n, symbolic.n),
+                ).tocsr()
+                factor_order = _matrix_order(cfg.forward_factor_order)
+                state.device_factor, op = device.upload_sparse(
+                    pattern, stream, clocks.now(i),
+                    order=factor_order, label=f"L[{sub.index}]",
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["persistent_upload"] += op.duration
+
+                # Sparse TRSM analysis (only for sparse factor storage).
+                rhs_order = _matrix_order(cfg.rhs_order)
+                if cfg.forward_factor_storage is FactorStorage.SPARSE:
+                    state.forward_plan, op = cusparse.trsm_analysis(
+                        device, stream, state.device_factor, nrhs=sub.n_lambda,
+                        submit_time=clocks.now(i), rhs_order=rhs_order,
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["analysis"] += op.duration
+                if (
+                    cfg.path is Path.TRSM
+                    and cfg.backward_factor_storage is FactorStorage.SPARSE
+                ):
+                    state.backward_plan, op = cusparse.trsm_analysis(
+                        device, stream, state.device_factor, nrhs=sub.n_lambda,
+                        submit_time=clocks.now(i), rhs_order=rhs_order,
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["analysis"] += op.duration
+
+                # Persistent F̃ᵢ and dual vectors.
+                f_bytes = 8 * sub.n_lambda * sub.n_lambda
+                if cfg.apply_symmetric:
+                    f_bytes //= 2
+                state.device_F = DeviceDenseMatrix(
+                    array=np.zeros((sub.n_lambda, sub.n_lambda)),
+                    order=_matrix_order(cfg.rhs_order),
+                    symmetric_triangle=cfg.apply_symmetric,
+                    allocation=device.memory.allocate(f_bytes, f"F[{sub.index}]"),
+                )
+                state.p_vec = DeviceVector(
+                    array=np.zeros(sub.n_lambda),
+                    allocation=device.memory.allocate(8 * sub.n_lambda, "p"),
+                )
+                state.q_vec = DeviceVector(
+                    array=np.zeros(sub.n_lambda),
+                    allocation=device.memory.allocate(8 * sub.n_lambda, "q"),
+                )
+
+            # Cluster-wide dual vectors (GPU scatter/gather path).
+            cluster_lambdas = (
+                np.unique(np.concatenate([s.lambda_ids for s in subs]))
+                if subs
+                else np.empty(0, dtype=np.int64)
+            )
+            cstate = _ClusterState(lambda_ids=cluster_lambdas)
+            if cluster_lambdas.size:
+                nbytes = 8 * cluster_lambdas.size
+                cstate.dual_in = DeviceVector(
+                    array=np.zeros(cluster_lambdas.size),
+                    allocation=device.memory.allocate(nbytes, "cluster-dual-in"),
+                )
+                cstate.dual_out = DeviceVector(
+                    array=np.zeros(cluster_lambdas.size),
+                    allocation=device.memory.allocate(nbytes, "cluster-dual-out"),
+                )
+            self._cluster_state[cluster.cluster_id] = cstate
+            for sub in subs:
+                self._state[sub.index].cluster_positions = np.searchsorted(
+                    cluster_lambdas, sub.lambda_ids
+                )
+
+            if device.temporary is None:
+                device.allocate_temporary_arena()
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return self._merge_cluster_times(cluster_times), breakdown
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing (the accelerated explicit assembly)                   #
+    # ------------------------------------------------------------------ #
+    def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        cfg = self.config
+        breakdown = {
+            "numeric_factorization": 0.0,
+            "factor_upload": 0.0,
+            "sparse_to_dense": 0.0,
+            "trsm": 0.0,
+            "syrk": 0.0,
+            "spmm": 0.0,
+        }
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            device = cluster.device
+            device.reset_timeline()
+            arena = device.require_temporary()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                solver = self._cpu_solvers[sub.index]
+
+                # CPU: numeric factorization + factor extraction.
+                solver.factorize(sub.K_reg)
+                fact_cost = cluster.cpu.numeric_factorization(
+                    solver.factorization_flops(), solver.factor_nnz, CpuLibrary.CHOLMOD
+                )
+                extract_cost = cluster.cpu.factor_extraction(solver.factor_nnz)
+                clocks.advance(i, fact_cost + extract_cost)
+                breakdown["numeric_factorization"] += fact_cost + extract_cost
+
+                factor = solver.extract_factor()
+                lower_csr = factor.to_csc().tocsr()
+                op = device.update_sparse_values(
+                    state.device_factor, lower_csr, stream, clocks.now(i)
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["factor_upload"] += op.duration
+
+                # Temporary buffers: dense RHS (and dense factor if needed).
+                ndofs, n_lambda = sub.ndofs, sub.n_lambda
+                rhs_alloc = arena.allocate(8 * ndofs * n_lambda, "dense-rhs")
+                rhs = DeviceDenseMatrix(
+                    array=np.zeros((ndofs, n_lambda)),
+                    order=_matrix_order(cfg.rhs_order),
+                    allocation=rhs_alloc,
+                )
+                op = cusparse.sparse_to_dense(
+                    device, stream, state.device_B, rhs, clocks.now(i), transpose=True
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["sparse_to_dense"] += op.duration
+
+                dense_factor: DeviceDenseMatrix | None = None
+                need_dense = (
+                    cfg.forward_factor_storage is FactorStorage.DENSE
+                    or (
+                        cfg.path is Path.TRSM
+                        and cfg.backward_factor_storage is FactorStorage.DENSE
+                    )
+                )
+                if need_dense:
+                    dense_alloc = arena.allocate(8 * ndofs * ndofs, "dense-factor")
+                    dense_factor = DeviceDenseMatrix(
+                        array=np.zeros((ndofs, ndofs)),
+                        order=_matrix_order(cfg.forward_factor_order),
+                        allocation=dense_alloc,
+                    )
+                    op = cusparse.sparse_to_dense(
+                        device, stream, state.device_factor, dense_factor, clocks.now(i)
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["sparse_to_dense"] += op.duration
+
+                # Forward solve: W = L⁻¹ (B̃ᵢᵀ, permuted & dense).
+                op = self._triangular_solve(
+                    cluster, stream, state, rhs, dense_factor,
+                    storage=cfg.forward_factor_storage, transpose=False,
+                    plan=state.forward_plan, submit_time=clocks.now(i), arena=arena,
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["trsm"] += op.duration
+
+                assert state.device_F is not None
+                if cfg.path is Path.SYRK:
+                    op = cublas.syrk(
+                        device, stream, rhs, state.device_F, clocks.now(i), transpose=True
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["syrk"] += op.duration
+                else:
+                    # Backward solve: Z = L⁻ᵀ W, then F̃ᵢ = B̃ᵢ Z.
+                    op = self._triangular_solve(
+                        cluster, stream, state, rhs, dense_factor,
+                        storage=cfg.backward_factor_storage, transpose=True,
+                        plan=state.backward_plan, submit_time=clocks.now(i), arena=arena,
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["trsm"] += op.duration
+                    op = cusparse.spmm(
+                        device, stream, state.device_B, rhs, state.device_F, clocks.now(i)
+                    )
+                    clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                    breakdown["spmm"] += op.duration
+
+                # Temporary buffers are only needed until the kernels finish.
+                rhs.release()
+                if dense_factor is not None:
+                    dense_factor.release()
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return self._merge_cluster_times(cluster_times), breakdown
+
+    def _triangular_solve(
+        self,
+        cluster: ClusterResources,
+        stream,
+        state: _GpuState,
+        rhs: DeviceDenseMatrix,
+        dense_factor: DeviceDenseMatrix | None,
+        storage: FactorStorage,
+        transpose: bool,
+        plan: SparseTrsmPlan | None,
+        submit_time: float,
+        arena,
+    ):
+        """One triangular solve of the assembly, sparse or dense."""
+        device = cluster.device
+        if storage is FactorStorage.DENSE:
+            assert dense_factor is not None
+            return cublas.trsm(
+                device, stream, dense_factor, rhs, submit_time,
+                lower=True, transpose=transpose,
+            )
+        assert plan is not None and state.device_factor is not None
+        return cusparse.trsm(
+            device, stream, plan, state.device_factor, rhs, submit_time,
+            transpose=transpose, arena=arena,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Application                                                         #
+    # ------------------------------------------------------------------ #
+    def _apply_impl(self, lam: np.ndarray) -> tuple[np.ndarray, float, dict[str, float]]:
+        if self.config.scatter_gather is ScatterGatherDevice.GPU:
+            return self._apply_gpu_scatter(lam)
+        return self._apply_cpu_scatter(lam)
+
+    def _apply_mv(self, device, stream, state: _GpuState, submit_time: float):
+        """The GEMV or SYMV kernel of one subdomain."""
+        assert state.device_F is not None
+        assert state.p_vec is not None and state.q_vec is not None
+        if self.config.apply_symmetric:
+            return cublas.symv(
+                device, stream, state.device_F, state.p_vec, state.q_vec, submit_time
+            )
+        return cublas.gemv(
+            device, stream, state.device_F, state.p_vec, state.q_vec, submit_time
+        )
+
+    def _apply_gpu_scatter(
+        self, lam: np.ndarray
+    ) -> tuple[np.ndarray, float, dict[str, float]]:
+        q = np.zeros_like(lam)
+        breakdown = {"transfer": 0.0, "scatter_gather": 0.0, "mv": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            if not subs:
+                cluster_times.append(0.0)
+                continue
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            cstate = self._cluster_state[cluster.cluster_id]
+            assert cstate.dual_in is not None and cstate.dual_out is not None
+            main_stream = cluster.stream_for(0)
+
+            # One H2D copy of the cluster-wide dual vector + one scatter kernel.
+            cstate.dual_in.array[...] = lam[cstate.lambda_ids]
+            cstate.dual_out.array[...] = 0.0
+            t0 = clocks.now(0)
+            op = main_stream.submit(
+                "h2d:cluster-dual",
+                device.cost_model.transfer(8 * cstate.lambda_ids.size),
+                t0,
+            )
+            breakdown["transfer"] += op.duration
+            total_local = sum(s.n_lambda for s in subs)
+            scatter_op = main_stream.submit(
+                "gpu.scatter", device.cost_model.scatter_gather(total_local), op.end_time
+            )
+            breakdown["scatter_gather"] += scatter_op.duration
+            clocks.advance(0, 2 * device.cost_model.submission_overhead_cpu)
+
+            # GEMV/SYMV kernels on per-subdomain streams, after the scatter.
+            for i, sub in enumerate(subs):
+                state = self._state[sub.index]
+                assert state.p_vec is not None and state.q_vec is not None
+                state.p_vec.array[...] = cstate.dual_in.array[state.cluster_positions]
+                stream = cluster.stream_for(i)
+                stream.wait_for(scatter_op.end_time)
+                op = self._apply_mv(device, stream, state, clocks.now(i))
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["mv"] += op.duration
+                np.add.at(
+                    cstate.dual_out.array, state.cluster_positions, state.q_vec.array
+                )
+
+            # One gather kernel + one D2H copy after all GEMVs finish.
+            ready = max(s.tail for s in cluster.streams)
+            main_stream.wait_for(ready)
+            gather_op = main_stream.submit(
+                "gpu.gather",
+                device.cost_model.scatter_gather(total_local),
+                clocks.max_time,
+            )
+            breakdown["scatter_gather"] += gather_op.duration
+            op = main_stream.submit(
+                "d2h:cluster-dual",
+                device.cost_model.transfer(8 * cstate.lambda_ids.size),
+                gather_op.end_time,
+            )
+            breakdown["transfer"] += op.duration
+            np.add.at(q, cstate.lambda_ids, cstate.dual_out.array)
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return q, self._merge_cluster_times(cluster_times), breakdown
+
+    def _apply_cpu_scatter(
+        self, lam: np.ndarray
+    ) -> tuple[np.ndarray, float, dict[str, float]]:
+        q = np.zeros_like(lam)
+        breakdown = {"transfer": 0.0, "mv": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            if not subs:
+                cluster_times.append(0.0)
+                continue
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                assert state.p_vec is not None and state.q_vec is not None
+                state.p_vec.array[...] = sub.local_dual(lam)
+                op = stream.submit(
+                    "h2d:p", device.cost_model.transfer(8 * sub.n_lambda), clocks.now(i)
+                )
+                breakdown["transfer"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                op = self._apply_mv(device, stream, state, clocks.now(i))
+                breakdown["mv"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                q_local, op = device.download_vector(
+                    state.q_vec, stream, clocks.now(i), label="q"
+                )
+                breakdown["transfer"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                sub.accumulate_dual(q, q_local)
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return q, self._merge_cluster_times(cluster_times), breakdown

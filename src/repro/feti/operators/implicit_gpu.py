@@ -1,0 +1,233 @@
+"""Implicit GPU dual operator (`impl legacy` / `impl modern` in Table III).
+
+The factors are computed on the CPU with the CHOLMOD-like solver (MKL
+PARDISO cannot export its factors), copied to the GPU during preprocessing,
+and every application performs SpMV → sparse TRSV → sparse TRSV → SpMV on
+the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster.topology import ClusterResources, Machine
+from repro.feti.config import DualOperatorApproach
+from repro.feti.operators.base import DualOperatorBase
+from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.gpu import cusparse
+from repro.gpu.arrays import DeviceCsrMatrix, DeviceVector, MatrixOrder
+from repro.gpu.cusparse import SparseTrsmPlan
+from repro.gpu.stream import Stream
+from repro.sparse.costmodel import CpuLibrary
+from repro.sparse.solvers import CholmodLikeSolver
+
+__all__ = ["ImplicitGpuDualOperator"]
+
+
+@dataclass
+class _GpuState:
+    """Per-subdomain device-resident structures."""
+
+    device_B: DeviceCsrMatrix | None = None
+    device_factor: DeviceCsrMatrix | None = None
+    plan: SparseTrsmPlan | None = None
+    p_vec: DeviceVector | None = None
+    q_vec: DeviceVector | None = None
+    work_vec: DeviceVector | None = None
+    perm: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+
+class ImplicitGpuDualOperator(DualOperatorBase):
+    """Implicit application of ``F̃ᵢ`` on the GPU with CHOLMOD factors."""
+
+    def __init__(
+        self,
+        problem: FetiProblem,
+        machine: Machine,
+        approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_GPU_MODERN,
+    ) -> None:
+        super().__init__(problem, machine)
+        if approach not in (
+            DualOperatorApproach.IMPLICIT_GPU_LEGACY,
+            DualOperatorApproach.IMPLICIT_GPU_MODERN,
+        ):
+            raise ValueError(f"not an implicit GPU approach: {approach}")
+        self.approach = approach
+        self._cpu_solvers = {s.index: CholmodLikeSolver() for s in problem.subdomains}
+        self._state = {s.index: _GpuState() for s in problem.subdomains}
+
+    # ------------------------------------------------------------------ #
+    def _prepare_impl(self) -> tuple[float, dict[str, float]]:
+        breakdown = {"symbolic": 0.0, "persistent_upload": 0.0, "analysis": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                solver = self._cpu_solvers[sub.index]
+
+                symbolic = solver.analyze(sub.K_reg)
+                cost = cluster.cpu.symbolic_factorization(
+                    int(sub.K_reg.nnz), symbolic.nnz
+                )
+                clocks.advance(i, cost)
+                breakdown["symbolic"] += cost
+                state.perm = symbolic.perm
+
+                # Persistent structures: B̃ᵢ (permuted columns), the factor
+                # pattern, and the subdomain dual vectors.
+                B_perm = sub.B[:, symbolic.perm].tocsr()
+                now = clocks.now(i)
+                state.device_B, op = device.upload_sparse(
+                    B_perm, stream, now, label=f"B[{sub.index}]"
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["persistent_upload"] += op.duration
+
+                pattern = sp.csc_matrix(
+                    (
+                        np.zeros(symbolic.nnz),
+                        symbolic.row_idx.copy(),
+                        symbolic.col_ptr.copy(),
+                    ),
+                    shape=(symbolic.n, symbolic.n),
+                ).tocsr()
+                state.device_factor, op = device.upload_sparse(
+                    pattern, stream, clocks.now(i), label=f"L[{sub.index}]"
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["persistent_upload"] += op.duration
+
+                state.plan, op = cusparse.trsm_analysis(
+                    device, stream, state.device_factor, nrhs=1, submit_time=clocks.now(i)
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["analysis"] += op.duration
+
+                state.p_vec = DeviceVector(
+                    array=np.zeros(sub.n_lambda),
+                    allocation=device.memory.allocate(8 * sub.n_lambda, "p"),
+                )
+                state.q_vec = DeviceVector(
+                    array=np.zeros(sub.n_lambda),
+                    allocation=device.memory.allocate(8 * sub.n_lambda, "q"),
+                )
+                state.work_vec = DeviceVector(
+                    array=np.zeros(sub.ndofs),
+                    allocation=device.memory.allocate(8 * sub.ndofs, "work"),
+                )
+            if device.temporary is None:
+                device.allocate_temporary_arena()
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return self._merge_cluster_times(cluster_times), breakdown
+
+    def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        breakdown = {"numeric_factorization": 0.0, "factor_extraction": 0.0, "upload": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                solver = self._cpu_solvers[sub.index]
+
+                solver.factorize(sub.K_reg)
+                fact_cost = cluster.cpu.numeric_factorization(
+                    solver.factorization_flops(), solver.factor_nnz, CpuLibrary.CHOLMOD
+                )
+                extract_cost = cluster.cpu.factor_extraction(solver.factor_nnz)
+                clocks.advance(i, fact_cost + extract_cost)
+                breakdown["numeric_factorization"] += fact_cost
+                breakdown["factor_extraction"] += extract_cost
+
+                factor = solver.extract_factor()
+                op = device.update_sparse_values(
+                    state.device_factor, factor.to_csc().tocsr(), stream, clocks.now(i)
+                )
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                breakdown["upload"] += op.duration
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return self._merge_cluster_times(cluster_times), breakdown
+
+    def _apply_impl(self, lam: np.ndarray) -> tuple[np.ndarray, float, dict[str, float]]:
+        q = np.zeros_like(lam)
+        breakdown = {"transfer": 0.0, "spmv": 0.0, "trsv": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            device = cluster.device
+            device.reset_timeline()
+            clocks = self.new_thread_clocks(cluster)
+            for i, sub in enumerate(subs):
+                stream = cluster.stream_for(i)
+                state = self._state[sub.index]
+                assert state.device_B is not None and state.device_factor is not None
+                assert state.p_vec is not None and state.q_vec is not None
+                assert state.work_vec is not None and state.plan is not None
+
+                now = clocks.now(i)
+                state.p_vec.array[...] = sub.local_dual(lam)
+                op = stream.submit(
+                    "h2d:p", device.cost_model.transfer(8 * sub.n_lambda), now
+                )
+                breakdown["transfer"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+
+                op = cusparse.spmv(
+                    device, stream, state.device_B, state.p_vec, state.work_vec,
+                    clocks.now(i), transpose=True,
+                )
+                breakdown["spmv"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+
+                rhs = state.work_vec.array
+                lower = sp.csc_matrix(sp.tril(state.device_factor.matrix))
+                from repro.sparse.triangular import csc_trsm_lower, csc_trsm_upper
+
+                rhs[...] = csc_trsm_lower(lower, rhs)
+                op = stream.submit(
+                    "cusparse.trsv_fwd",
+                    device.cost_model.sparse_trsm(
+                        state.device_factor.nnz, sub.ndofs, 1, device.cuda_version
+                    ),
+                    clocks.now(i),
+                )
+                breakdown["trsv"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+
+                rhs[...] = csc_trsm_upper(lower, rhs)
+                op = stream.submit(
+                    "cusparse.trsv_bwd",
+                    device.cost_model.sparse_trsm(
+                        state.device_factor.nnz, sub.ndofs, 1, device.cuda_version
+                    ),
+                    clocks.now(i),
+                )
+                breakdown["trsv"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+
+                op = cusparse.spmv(
+                    device, stream, state.device_B, state.work_vec, state.q_vec,
+                    clocks.now(i), transpose=False,
+                )
+                breakdown["spmv"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+
+                q_local, op = device.download_vector(
+                    state.q_vec, stream, clocks.now(i), label="q"
+                )
+                breakdown["transfer"] += op.duration
+                clocks.advance(i, device.cost_model.submission_overhead_cpu)
+                sub.accumulate_dual(q, q_local)
+            end = device.synchronize(clocks.max_time)
+            cluster_times.append(end)
+        return q, self._merge_cluster_times(cluster_times), breakdown

@@ -1,0 +1,139 @@
+"""Dual preconditioners for the PCPG iteration.
+
+Three standard FETI preconditioners are provided:
+
+* :class:`IdentityPreconditioner` — no preconditioning;
+* :class:`LumpedPreconditioner` — ``M = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ`` with multiplicity
+  scaling, cheap and usually sufficient for well-conditioned problems;
+* :class:`DirichletPreconditioner` — ``M = Σᵢ B̃ᵢ Sᵢ B̃ᵢᵀ`` where ``Sᵢ`` is
+  the Schur complement of the subdomain stiffness on its interface DOFs;
+  more expensive to set up but the strongest of the classical options.
+
+All preconditioners act on global dual vectors; scaling by the inverse DOF
+multiplicity is applied on both sides, the usual choice for redundant-free
+constraint sets on structured decompositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.feti.problem import FetiProblem
+
+__all__ = [
+    "IdentityPreconditioner",
+    "LumpedPreconditioner",
+    "DirichletPreconditioner",
+]
+
+
+class IdentityPreconditioner:
+    """The do-nothing preconditioner (``M = I``)."""
+
+    def __init__(self, problem: FetiProblem) -> None:
+        self.problem = problem
+
+    def apply(self, w: np.ndarray) -> np.ndarray:
+        """Return ``w`` unchanged."""
+        return w
+
+    __call__ = apply
+
+
+class _ScaledSubdomainPreconditioner:
+    """Common machinery of the lumped and Dirichlet preconditioners."""
+
+    def __init__(self, problem: FetiProblem) -> None:
+        self.problem = problem
+        self._scaled_B: list[sp.csr_matrix] = []
+        for sub in problem.subdomains:
+            scale = sp.diags(1.0 / sub.dof_multiplicity)
+            self._scaled_B.append((sub.B @ scale).tocsr())
+
+    def _subdomain_operator(self, index: int) -> sp.spmatrix | np.ndarray:
+        raise NotImplementedError
+
+    def apply(self, w: np.ndarray) -> np.ndarray:
+        """Apply ``M w = Σᵢ B̃ᵢ,scaled Opᵢ B̃ᵢ,scaledᵀ w``."""
+        out = np.zeros_like(w)
+        for sub, Bs in zip(self.problem.subdomains, self._scaled_B):
+            local = Bs.T @ w[sub.lambda_ids]
+            result = Bs @ (self._subdomain_operator(sub.index) @ local)
+            np.add.at(out, sub.lambda_ids, result)
+        return out
+
+    __call__ = apply
+
+
+class LumpedPreconditioner(_ScaledSubdomainPreconditioner):
+    """The lumped preconditioner ``M = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ`` (with scaling)."""
+
+    def _subdomain_operator(self, index: int) -> sp.spmatrix:
+        return self.problem.subdomains[index].K
+
+
+class DirichletPreconditioner(_ScaledSubdomainPreconditioner):
+    """The Dirichlet preconditioner ``M = Σᵢ B̃ᵢ Sᵢ B̃ᵢᵀ``.
+
+    ``Sᵢ`` is the Schur complement of ``Kᵢ`` on the subdomain's *constrained*
+    DOFs (the DOFs touched by any constraint row); it is assembled densely at
+    construction time, which is affordable because the interface of a
+    subdomain is small compared to its interior.
+    """
+
+    def __init__(self, problem: FetiProblem) -> None:
+        super().__init__(problem)
+        self._schur: list[np.ndarray] = []
+        self._interface_dofs: list[np.ndarray] = []
+        for sub in problem.subdomains:
+            boundary = np.unique(sub.B.indices) if sub.B.nnz else np.empty(0, np.int64)
+            self._interface_dofs.append(boundary)
+            if boundary.size == 0:
+                self._schur.append(np.zeros((0, 0)))
+                continue
+            interior = np.setdiff1d(np.arange(sub.ndofs), boundary)
+            K = sub.K.tocsc()
+            Kbb = K[np.ix_(boundary, boundary)].toarray()
+            if interior.size == 0:
+                self._schur.append(Kbb)
+                continue
+            Kib = K[np.ix_(interior, boundary)].tocsc()
+            Kii = K[np.ix_(interior, interior)].tocsc()
+            # Use the regularized interior block if Kii happens to be singular
+            # (cannot occur for connected interiors, but stay safe).
+            solve = spla.factorized(Kii)
+            X = np.column_stack([solve(np.asarray(Kib[:, j].todense()).ravel())
+                                 for j in range(boundary.size)])
+            self._schur.append(Kbb - Kib.T @ X)
+
+    def _subdomain_operator(self, index: int) -> np.ndarray:
+        # Embedded Schur complement: operate only on interface DOFs.
+        sub = self.problem.subdomains[index]
+        boundary = self._interface_dofs[index]
+        S = self._schur[index]
+        op = np.zeros((sub.ndofs, sub.ndofs))
+        if boundary.size:
+            op[np.ix_(boundary, boundary)] = S
+        return op
+
+    def apply(self, w: np.ndarray) -> np.ndarray:
+        """Apply the Dirichlet preconditioner (interface-restricted)."""
+        out = np.zeros_like(w)
+        for sub, Bs, boundary, S in zip(
+            self.problem.subdomains,
+            self._scaled_B,
+            self._interface_dofs,
+            self._schur,
+        ):
+            if boundary.size == 0:
+                continue
+            local = Bs.T @ w[sub.lambda_ids]
+            restricted = S @ local[boundary]
+            full = np.zeros(sub.ndofs)
+            full[boundary] = restricted
+            np.add.at(out, sub.lambda_ids, Bs @ full)
+        return out
+
+    __call__ = apply

@@ -1,0 +1,19 @@
+"""Small helpers shared by the FETI problem construction."""
+
+from __future__ import annotations
+
+from repro.fem.mesh import Mesh
+
+__all__ = ["dofs_per_node_of"]
+
+
+def dofs_per_node_of(physics: object, mesh: Mesh) -> int:
+    """Number of DOFs per mesh node for a physics object.
+
+    Heat transfer exposes a plain ``dofs_per_node`` attribute; elasticity's
+    value depends on the mesh dimension and is exposed through
+    ``dofs_per_node_for(mesh)``.
+    """
+    if hasattr(physics, "dofs_per_node_for"):
+        return int(physics.dofs_per_node_for(mesh))
+    return int(physics.dofs_per_node)

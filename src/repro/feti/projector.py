@@ -1,0 +1,49 @@
+"""The natural coarse-space projector of the PCPG iteration.
+
+``P = I − G (Gᵀ G)⁻¹ Gᵀ`` with ``G = B R`` (equation (8) of the paper).
+``Gᵀ G`` is a small dense matrix (one row/column per subdomain kernel mode),
+so it is factorized densely once and reused by every projector application,
+by the computation of the feasible initial iterate ``λ₀ = G (GᵀG)⁻¹ e`` and
+by the recovery of the kernel amplitudes ``α`` (equation (9)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+
+__all__ = ["Projector"]
+
+
+class Projector:
+    """Orthogonal projector onto the null space of ``Gᵀ``."""
+
+    def __init__(self, G: sp.spmatrix) -> None:
+        self.G = sp.csr_matrix(G)
+        gtg = np.asarray((self.G.T @ self.G).todense(), dtype=float)
+        if gtg.size == 0:
+            raise ValueError("G has no columns; the coarse problem is empty")
+        # G must have full column rank for (GᵀG)⁻¹ to exist — this is the
+        # solvability condition of the coarse problem.
+        self._gtg_cho = sla.cho_factor(gtg)
+        self.n_lambda, self.n_kernel = self.G.shape
+
+    # ------------------------------------------------------------------ #
+    def coarse_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(Gᵀ G) x = rhs``."""
+        return sla.cho_solve(self._gtg_cho, rhs)
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Apply ``P x = x − G (GᵀG)⁻¹ Gᵀ x``."""
+        return x - self.G @ self.coarse_solve(self.G.T @ x)
+
+    __call__ = apply
+
+    def initial_lambda(self, e: np.ndarray) -> np.ndarray:
+        """Feasible initial iterate ``λ₀ = G (GᵀG)⁻¹ e`` (``Gᵀ λ₀ = e``)."""
+        return self.G @ self.coarse_solve(e)
+
+    def alpha(self, d_minus_F_lambda: np.ndarray) -> np.ndarray:
+        """Kernel amplitudes ``α = −(GᵀG)⁻¹ Gᵀ (d − F λ)`` (equation (9))."""
+        return -self.coarse_solve(self.G.T @ d_minus_F_lambda)

@@ -1,0 +1,265 @@
+"""The Total FETI solver and the multi-step simulation driver.
+
+:class:`FetiSolver` wires together the dual operator (any Table-III
+approach), the coarse projector, a dual preconditioner and the PCPG
+iteration, and recovers the primal solution.  :class:`MultiStepDriver`
+implements Algorithm 2 of the paper: preparation once, then per time step a
+FETI preprocessing followed by the PCPG solve, with the dual-operator timing
+collected per phase so that the amortization analysis of Figures 6/7 can be
+computed from a real run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.timing import PhaseTiming
+from repro.cluster.topology import MachineConfig
+from repro.feti.config import AssemblyConfig, DualOperatorApproach
+from repro.feti.operators import make_dual_operator
+from repro.feti.operators.base import DualOperatorBase
+from repro.feti.pcpg import PcpgOptions, PcpgResult, pcpg
+from repro.feti.preconditioner import (
+    DirichletPreconditioner,
+    IdentityPreconditioner,
+    LumpedPreconditioner,
+)
+from repro.feti.problem import FetiProblem
+from repro.feti.projector import Projector
+
+__all__ = [
+    "PreconditionerKind",
+    "FetiSolverOptions",
+    "FetiSolution",
+    "FetiSolver",
+    "MultiStepDriver",
+]
+
+
+class PreconditionerKind(enum.Enum):
+    """Dual preconditioners selectable through the solver options."""
+
+    NONE = "none"
+    LUMPED = "lumped"
+    DIRICHLET = "dirichlet"
+
+
+@dataclass(frozen=True)
+class FetiSolverOptions:
+    """Options of the FETI solver.
+
+    Attributes
+    ----------
+    approach:
+        Dual-operator approach (Table III).
+    preconditioner:
+        Dual preconditioner used by PCPG.
+    pcpg:
+        Iteration options.
+    machine_config:
+        Per-cluster resources (threads, streams, CUDA generation, cost
+        models).
+    assembly_config:
+        Explicit-assembly parameters (Table I).  ``None`` selects the
+        Table-II recommendation automatically for GPU approaches.
+    """
+
+    approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_MKL
+    preconditioner: PreconditionerKind = PreconditionerKind.LUMPED
+    pcpg: PcpgOptions = field(default_factory=PcpgOptions)
+    machine_config: MachineConfig | None = None
+    assembly_config: AssemblyConfig | None = None
+
+
+@dataclass
+class FetiSolution:
+    """Result of one FETI solve."""
+
+    lam: np.ndarray
+    alpha: np.ndarray
+    primal: list[np.ndarray]
+    pcpg: PcpgResult
+    preprocessing: PhaseTiming
+    #: Simulated seconds of the dual-operator work inside PCPG.
+    dual_apply_seconds: float
+
+    @property
+    def iterations(self) -> int:
+        """PCPG iteration count."""
+        return self.pcpg.iterations
+
+    @property
+    def converged(self) -> bool:
+        """Whether PCPG reached its tolerance."""
+        return self.pcpg.converged
+
+
+class FetiSolver:
+    """Total FETI solver driven by a configurable dual operator."""
+
+    def __init__(
+        self, problem: FetiProblem, options: FetiSolverOptions | None = None
+    ) -> None:
+        self.problem = problem
+        self.options = options or FetiSolverOptions()
+        assembly = self.options.assembly_config
+        if assembly is None and self.options.approach.uses_gpu:
+            from repro.feti.autotune import recommend_assembly_config
+
+            first = problem.subdomains[0]
+            cuda = self.options.approach.cuda_library
+            assembly = recommend_assembly_config(
+                cuda_library=cuda,
+                dim=problem.decomposition.dim,
+                dofs_per_subdomain=first.ndofs,
+            )
+        self.operator: DualOperatorBase = make_dual_operator(
+            self.options.approach,
+            problem,
+            machine_config=self.options.machine_config,
+            assembly_config=assembly,
+        )
+        self.projector = Projector(problem.assemble_G())
+        self.preconditioner = self._make_preconditioner()
+        self._prepared = False
+
+    # ------------------------------------------------------------------ #
+    def _make_preconditioner(self):
+        kind = self.options.preconditioner
+        if kind is PreconditionerKind.NONE:
+            return IdentityPreconditioner(self.problem)
+        if kind is PreconditionerKind.LUMPED:
+            return LumpedPreconditioner(self.problem)
+        return DirichletPreconditioner(self.problem)
+
+    def prepare(self) -> PhaseTiming:
+        """Run the preparation phase of the dual operator."""
+        timing = self.operator.prepare()
+        self._prepared = True
+        return timing
+
+    def preprocess(self) -> PhaseTiming:
+        """Run the per-time-step FETI preprocessing."""
+        if not self._prepared:
+            self.prepare()
+        return self.operator.preprocess()
+
+    def solve(self, reuse_preprocessing: bool = False) -> FetiSolution:
+        """Solve the dual problem with PCPG and recover the primal solution.
+
+        Parameters
+        ----------
+        reuse_preprocessing:
+            Skip the preprocessing phase if it already ran for the current
+            stiffness values (used by callers that manage Algorithm 2
+            themselves).
+        """
+        if reuse_preprocessing and self.operator.ledger.last("preprocessing"):
+            preprocessing = self.operator.ledger.last("preprocessing")
+        else:
+            preprocessing = self.preprocess()
+
+        d = self.operator.dual_rhs()
+        e = self.problem.compute_e()
+        lambda_0 = self.projector.initial_lambda(e)
+
+        apply_count_before = self.operator.ledger.count("apply")
+        result = pcpg(
+            apply_F=self.operator.apply,
+            apply_P=self.projector.apply,
+            apply_M=self.preconditioner.apply,
+            d=d,
+            lambda_0=lambda_0,
+            options=self.options.pcpg,
+        )
+        apply_phases = self.operator.ledger.phases
+        dual_apply_seconds = sum(
+            p.simulated_seconds
+            for p in apply_phases[apply_count_before:]
+            if p.name == "apply"
+        )
+
+        residual = (
+            result.final_residual
+            if result.final_residual is not None
+            else d - self.operator.apply(result.lam)
+        )
+        alpha = self.projector.alpha(residual)
+        primal = self.operator.primal_solution(result.lam, alpha)
+        return FetiSolution(
+            lam=result.lam,
+            alpha=alpha,
+            primal=primal,
+            pcpg=result,
+            preprocessing=preprocessing,
+            dual_apply_seconds=dual_apply_seconds,
+        )
+
+
+@dataclass
+class StepRecord:
+    """Timing and convergence record of one simulation step."""
+
+    step: int
+    iterations: int
+    converged: bool
+    preprocessing_seconds: float
+    apply_seconds: float
+
+    @property
+    def dual_operator_seconds(self) -> float:
+        """Total dual-operator time of the step (preprocessing + iterations)."""
+        return self.preprocessing_seconds + self.apply_seconds
+
+
+class MultiStepDriver:
+    """Algorithm 2: a multi-step simulation with per-step FETI preprocessing.
+
+    Parameters
+    ----------
+    solver:
+        The FETI solver (its dual operator is reused across steps, so the
+        symbolic factorizations and persistent GPU structures are set up
+        only once).
+    update:
+        Optional callback ``update(step, problem)`` invoked before every
+        step; it may modify the numerical values of the subdomain matrices
+        and load vectors (the sparsity pattern must stay fixed, as in the
+        paper's use case).
+    """
+
+    def __init__(
+        self,
+        solver: FetiSolver,
+        update: Callable[[int, FetiProblem], None] | None = None,
+    ) -> None:
+        self.solver = solver
+        self.update = update
+        self.records: list[StepRecord] = []
+
+    def run(self, n_steps: int) -> list[StepRecord]:
+        """Run ``n_steps`` time steps and return their records."""
+        self.solver.prepare()
+        for step in range(n_steps):
+            if self.update is not None:
+                self.update(step, self.solver.problem)
+            solution = self.solver.solve()
+            self.records.append(
+                StepRecord(
+                    step=step,
+                    iterations=solution.iterations,
+                    converged=solution.converged,
+                    preprocessing_seconds=solution.preprocessing.simulated_seconds,
+                    apply_seconds=solution.dual_apply_seconds,
+                )
+            )
+        return self.records
+
+    @property
+    def total_dual_operator_seconds(self) -> float:
+        """Total simulated dual-operator time over all steps."""
+        return sum(r.dual_operator_seconds for r in self.records)

@@ -1,0 +1,57 @@
+"""Simulated CUDA runtime.
+
+The paper assembles and applies the explicit local dual operators on NVIDIA
+A100 GPUs through cuBLAS and cuSPARSE.  No GPU is available in this
+environment, so this package provides a *numerically exact, discrete-event
+simulated* CUDA runtime with the same structure:
+
+* :mod:`repro.gpu.device` — the device with A100-like properties and a CUDA
+  toolkit "version" (legacy 11.7 / modern 12.4) that changes the behaviour
+  of the sparse kernels exactly as described in the paper;
+* :mod:`repro.gpu.memory` — a persistent memory pool plus the blocking
+  temporary-arena allocator of Section IV-A;
+* :mod:`repro.gpu.stream` — streams and events with simulated timelines
+  (asynchronous submission, copy/compute overlap, CPU–GPU overlap);
+* :mod:`repro.gpu.arrays` — host/device array handles (dense row/col-major
+  matrices, CSR/CSC sparse matrices, vectors);
+* :mod:`repro.gpu.cublas` / :mod:`repro.gpu.cusparse` — the kernels used by
+  the assembly pipeline (TRSM, SYRK, GEMM, GEMV, SYMV; sparse TRSM, SpMM,
+  SpMV, sparse→dense conversion), each computing the exact result with NumPy
+  and charging an analytic cost to its stream;
+* :mod:`repro.gpu.costmodel` — the kernel timing model (flops, bytes,
+  launch overhead, PCIe transfers) for both CUDA library versions.
+
+Simulated times drive the benchmark figures; the numerical results are used
+by the FETI solver and verified against the CPU implementations in the test
+suite.
+"""
+
+from repro.gpu.costmodel import CudaVersion, GpuCostModel
+from repro.gpu.device import Device, DeviceProperties
+from repro.gpu.memory import AllocationError, MemoryPool, TemporaryArena
+from repro.gpu.stream import Event, Stream
+from repro.gpu.arrays import (
+    DeviceCsrMatrix,
+    DeviceDenseMatrix,
+    DeviceVector,
+    MatrixOrder,
+)
+from repro.gpu import cublas, cusparse
+
+__all__ = [
+    "CudaVersion",
+    "GpuCostModel",
+    "Device",
+    "DeviceProperties",
+    "AllocationError",
+    "MemoryPool",
+    "TemporaryArena",
+    "Event",
+    "Stream",
+    "DeviceCsrMatrix",
+    "DeviceDenseMatrix",
+    "DeviceVector",
+    "MatrixOrder",
+    "cublas",
+    "cusparse",
+]

@@ -1,0 +1,149 @@
+"""Simulated cuBLAS kernels (dense BLAS on the device).
+
+Every function computes the exact result with NumPy/SciPy, submits one
+operation to the given stream (so asynchronous scheduling and stream
+concurrency are modelled), and returns the :class:`~repro.gpu.stream.StreamOperation`
+describing the scheduled kernel.  The caller owns all device buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.gpu.arrays import DeviceDenseMatrix, DeviceVector
+from repro.gpu.device import Device
+from repro.gpu.stream import Stream, StreamOperation
+
+__all__ = ["trsm", "syrk", "gemm", "gemv", "symv", "geam_transpose"]
+
+
+def trsm(
+    device: Device,
+    stream: Stream,
+    factor: DeviceDenseMatrix,
+    rhs: DeviceDenseMatrix,
+    submit_time: float,
+    lower: bool = True,
+    transpose: bool = False,
+) -> StreamOperation:
+    """Dense triangular solve ``op(T) X = B`` performed in place on ``rhs``.
+
+    Parameters
+    ----------
+    factor:
+        Dense triangular factor ``T`` (only the relevant triangle is read).
+    rhs:
+        Dense right-hand side; overwritten with the solution (as in BLAS).
+    lower, transpose:
+        Which triangle to use and whether to solve with its transpose.
+    """
+    n, nrhs = rhs.shape
+    duration = device.cost_model.dense_trsm(n, nrhs)
+    solution = sla.solve_triangular(
+        factor.array, rhs.array, lower=lower, trans="T" if transpose else "N",
+        check_finite=False,
+    )
+    rhs.array[...] = solution
+    return stream.submit("cublas.trsm", duration, submit_time)
+
+
+def syrk(
+    device: Device,
+    stream: Stream,
+    a: DeviceDenseMatrix,
+    out: DeviceDenseMatrix,
+    submit_time: float,
+    transpose: bool = True,
+) -> StreamOperation:
+    """Symmetric rank-k update ``out = Aᵀ A`` (or ``A Aᵀ``)."""
+    if transpose:
+        result = a.array.T @ a.array
+        n, k = a.array.shape[1], a.array.shape[0]
+    else:
+        result = a.array @ a.array.T
+        n, k = a.array.shape[0], a.array.shape[1]
+    out.array[...] = result
+    duration = device.cost_model.syrk(n, k)
+    return stream.submit("cublas.syrk", duration, submit_time)
+
+
+def gemm(
+    device: Device,
+    stream: Stream,
+    a: DeviceDenseMatrix,
+    b: DeviceDenseMatrix,
+    out: DeviceDenseMatrix,
+    submit_time: float,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> StreamOperation:
+    """General dense matrix-matrix multiplication ``out = op(A) op(B)``."""
+    A = a.array.T if transpose_a else a.array
+    B = b.array.T if transpose_b else b.array
+    out.array[...] = A @ B
+    m, k = A.shape
+    n = B.shape[1]
+    duration = device.cost_model.gemm(m, n, k)
+    return stream.submit("cublas.gemm", duration, submit_time)
+
+
+def gemv(
+    device: Device,
+    stream: Stream,
+    a: DeviceDenseMatrix,
+    x: DeviceVector,
+    y: DeviceVector,
+    submit_time: float,
+    transpose: bool = False,
+) -> StreamOperation:
+    """Dense matrix-vector product ``y = op(A) x``."""
+    A = a.array.T if transpose else a.array
+    y.array[...] = A @ x.array
+    duration = device.cost_model.gemv(A.shape[0], A.shape[1])
+    return stream.submit("cublas.gemv", duration, submit_time)
+
+
+def symv(
+    device: Device,
+    stream: Stream,
+    a: DeviceDenseMatrix,
+    x: DeviceVector,
+    y: DeviceVector,
+    submit_time: float,
+) -> StreamOperation:
+    """Symmetric matrix-vector product using one stored triangle.
+
+    The simulated matrix stores the full array, but the cost (and the memory
+    accounting of ``a``) corresponds to touching a single triangle, as the
+    paper does when ``F̃ᵢ`` is symmetric.
+    """
+    y.array[...] = a.array @ x.array
+    duration = device.cost_model.symv(a.shape[0])
+    return stream.submit("cublas.symv", duration, submit_time)
+
+
+def geam_transpose(
+    device: Device,
+    stream: Stream,
+    a: DeviceDenseMatrix,
+    out: DeviceDenseMatrix,
+    submit_time: float,
+) -> StreamOperation:
+    """Out-of-place transpose (the cuBLAS ``geam`` idiom for reordering)."""
+    out.array[...] = a.array.T
+    rows, cols = a.shape
+    duration = device.cost_model.geam_transpose(rows, cols)
+    return stream.submit("cublas.geam", duration, submit_time)
+
+
+def axpy_like_copy(
+    device: Device,
+    stream: Stream,
+    nbytes: int,
+    submit_time: float,
+    name: str = "cublas.copy",
+) -> StreamOperation:
+    """Charge a device-to-device copy of ``nbytes`` (no numerics)."""
+    duration = device.cost_model.device_copy(nbytes)
+    return stream.submit(name, duration, submit_time)

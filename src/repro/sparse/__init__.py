@@ -1,0 +1,58 @@
+"""Sparse direct solver substrate.
+
+A from-scratch sparse Cholesky factorization with the same structure as the
+production libraries the paper uses (CHOLMOD, MKL PARDISO):
+
+* a **symbolic** phase — fill-reducing ordering, elimination tree, column
+  counts and the full factor pattern (run once per mesh, reused across time
+  steps), and
+* a **numeric** phase — filling the factor with values (repeated every time
+  step of the multi-step simulation).
+
+On top of the factorization the package provides sparse triangular solves
+(vector and multi-RHS), a Schur-complement engine that exploits the sparsity
+of the right-hand side block (the analogue of PARDISO's augmented incomplete
+factorization), and two facades reproducing the relevant API differences of
+the CPU libraries: :class:`CholmodLikeSolver` (factors can be extracted and
+shipped to the GPU) and :class:`PardisoLikeSolver` (factors cannot be
+extracted, but a fast Schur complement is available).
+"""
+
+from repro.sparse.ordering import OrderingMethod, compute_ordering
+from repro.sparse.symbolic import SymbolicFactor, symbolic_cholesky, elimination_tree
+from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
+from repro.sparse.triangular import (
+    sparse_trsv_lower,
+    sparse_trsv_upper,
+    sparse_trsm_lower,
+    sparse_trsm_upper,
+)
+from repro.sparse.schur import schur_complement
+from repro.sparse.costmodel import CpuCostModel, CpuLibrary
+from repro.sparse.solvers import (
+    CholmodLikeSolver,
+    FactorExtractionError,
+    PardisoLikeSolver,
+    SparseSolverBase,
+)
+
+__all__ = [
+    "OrderingMethod",
+    "compute_ordering",
+    "SymbolicFactor",
+    "symbolic_cholesky",
+    "elimination_tree",
+    "CholeskyFactor",
+    "numeric_cholesky",
+    "sparse_trsv_lower",
+    "sparse_trsv_upper",
+    "sparse_trsm_lower",
+    "sparse_trsm_upper",
+    "schur_complement",
+    "CpuCostModel",
+    "CpuLibrary",
+    "CholmodLikeSolver",
+    "PardisoLikeSolver",
+    "FactorExtractionError",
+    "SparseSolverBase",
+]

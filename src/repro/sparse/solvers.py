@@ -1,0 +1,185 @@
+"""Solver facades mirroring the CPU libraries used by the paper.
+
+Both facades wrap the same in-package Cholesky engine but reproduce the API
+differences that shape the paper's comparison (Section V):
+
+* :class:`CholmodLikeSolver` — like SuiteSparse CHOLMOD, the factor can be
+  extracted (and shipped to the GPU), but the explicit Schur complement does
+  not exploit the sparsity of the right-hand side.
+* :class:`PardisoLikeSolver` — like Intel MKL PARDISO, the factor cannot be
+  extracted (so it cannot feed the GPU assembly), but the explicit dual
+  operator can be assembled with the augmented incomplete factorization,
+  which skips the work made redundant by the sparsity of ``B̃ᵢ``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.costmodel import CpuLibrary
+from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
+from repro.sparse.ordering import OrderingMethod
+from repro.sparse.schur import rhs_sparsity_fill, schur_complement
+from repro.sparse.symbolic import SymbolicFactor, symbolic_cholesky
+from repro.sparse.triangular import (
+    sparse_trsm_lower,
+    sparse_trsm_upper,
+    sparse_trsv_lower,
+    sparse_trsv_upper,
+)
+
+__all__ = [
+    "FactorExtractionError",
+    "SparseSolverBase",
+    "CholmodLikeSolver",
+    "PardisoLikeSolver",
+]
+
+
+class FactorExtractionError(RuntimeError):
+    """Raised when a solver does not support extracting its factors."""
+
+
+class SparseSolverBase:
+    """Sparse SPD solver with an explicit symbolic / numeric split.
+
+    Subclasses define :attr:`library` and :attr:`supports_factor_extraction`.
+    The solver keeps the fill-reducing permutation internal: ``solve`` and
+    ``schur_complement`` accept and return quantities in the original DOF
+    ordering.
+    """
+
+    #: Which CPU library the facade emulates (drives the cost model).
+    library: CpuLibrary
+    #: Whether :meth:`extract_factor` is available.
+    supports_factor_extraction: bool = True
+
+    def __init__(self, ordering: OrderingMethod | str = OrderingMethod.RCM) -> None:
+        self.ordering = (
+            OrderingMethod(ordering) if isinstance(ordering, str) else ordering
+        )
+        self._symbolic: SymbolicFactor | None = None
+        self._factor: CholeskyFactor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Phases                                                              #
+    # ------------------------------------------------------------------ #
+    def analyze(self, K: sp.spmatrix) -> SymbolicFactor:
+        """Symbolic factorization (run once per sparsity pattern)."""
+        self._symbolic = symbolic_cholesky(K, ordering=self.ordering)
+        self._factor = None
+        return self._symbolic
+
+    def factorize(self, K: sp.spmatrix) -> CholeskyFactor:
+        """Numeric factorization (re-run whenever the values change)."""
+        if self._symbolic is None:
+            self.analyze(K)
+        assert self._symbolic is not None
+        self._factor = numeric_cholesky(K, self._symbolic)
+        return self._factor
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    @property
+    def symbolic(self) -> SymbolicFactor:
+        """The symbolic factorization (raises if :meth:`analyze` not called)."""
+        if self._symbolic is None:
+            raise RuntimeError("analyze() has not been called")
+        return self._symbolic
+
+    @property
+    def is_factorized(self) -> bool:
+        """Whether a numeric factorization is available."""
+        return self._factor is not None
+
+    @property
+    def factor_nnz(self) -> int:
+        """Stored entries of the factor ``L``."""
+        return self.symbolic.nnz
+
+    def factorization_flops(self) -> float:
+        """Estimated flops of one numeric factorization."""
+        return self.symbolic.factorization_flops()
+
+    def _require_factor(self) -> CholeskyFactor:
+        if self._factor is None:
+            raise RuntimeError("factorize() has not been called")
+        return self._factor
+
+    def extract_factor(self) -> CholeskyFactor:
+        """Return the numeric factor (for shipping to the GPU).
+
+        Raises
+        ------
+        FactorExtractionError
+            If the emulated library does not expose its factors.
+        """
+        if not self.supports_factor_extraction:
+            raise FactorExtractionError(
+                f"{type(self).__name__} does not allow extraction of its factors"
+            )
+        return self._require_factor()
+
+    # ------------------------------------------------------------------ #
+    # Solves                                                              #
+    # ------------------------------------------------------------------ #
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``K x = b`` for one right-hand side (original ordering)."""
+        factor = self._require_factor()
+        perm = factor.symbolic.perm
+        y = sparse_trsv_lower(factor, np.asarray(b, dtype=float)[perm])
+        xp = sparse_trsv_upper(factor, y)
+        x = np.empty_like(xp)
+        x[perm] = xp
+        return x
+
+    def solve_many(self, B: np.ndarray) -> np.ndarray:
+        """Solve ``K X = B`` for a dense multi-column right-hand side."""
+        factor = self._require_factor()
+        perm = factor.symbolic.perm
+        Y = sparse_trsm_lower(factor, np.asarray(B, dtype=float)[perm, :])
+        Xp = sparse_trsm_upper(factor, Y)
+        X = np.empty_like(Xp)
+        X[perm, :] = Xp
+        return X
+
+    # ------------------------------------------------------------------ #
+    # Explicit dual operator on the CPU                                   #
+    # ------------------------------------------------------------------ #
+    def rhs_fill(self, B: sp.spmatrix) -> float:
+        """Fraction of TRSM work left after exploiting the sparsity of ``B``."""
+        return rhs_sparsity_fill(B, self.symbolic.perm)
+
+    def schur_complement(self, B: sp.spmatrix) -> np.ndarray:
+        """Assemble ``B K⁻¹ Bᵀ`` explicitly (in the original ordering)."""
+        factor = self._require_factor()
+        return schur_complement(
+            factor, B, exploit_rhs_sparsity=self._exploit_rhs_sparsity()
+        )
+
+    def _exploit_rhs_sparsity(self) -> bool:
+        return False
+
+
+class CholmodLikeSolver(SparseSolverBase):
+    """SuiteSparse-CHOLMOD-like facade: factors can be extracted."""
+
+    library = CpuLibrary.CHOLMOD
+    supports_factor_extraction = True
+
+
+class PardisoLikeSolver(SparseSolverBase):
+    """Intel-MKL-PARDISO-like facade.
+
+    Factors stay internal (``extract_factor`` raises), but the explicit Schur
+    complement uses the augmented-incomplete-factorization strategy that
+    exploits the sparsity of the constraint block.
+    """
+
+    library = CpuLibrary.MKL_PARDISO
+    supports_factor_extraction = False
+
+    def _exploit_rhs_sparsity(self) -> bool:
+        return True

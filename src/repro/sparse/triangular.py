@@ -1,0 +1,170 @@
+"""Sparse triangular solves (vector and multi-RHS).
+
+These are the CPU counterparts of the cuSPARSE ``TRSV``/``TRSM`` kernels used
+by the paper.  The factor is given as a :class:`~repro.sparse.numeric.CholeskyFactor`
+(CSC storage of ``L``, equivalently CSR storage of ``U = Lᵀ``); both the
+forward solve with ``L`` and the backward solve with ``Lᵀ`` traverse the same
+arrays, so no transposition is ever materialized.
+
+Multi-RHS variants operate on a two-dimensional right-hand side and vectorize
+the inner updates over all columns at once, which is what makes the explicit
+assembly (``TRSM`` with the dense ``B̃ᵢᵀ`` block) practical in NumPy.
+
+For sparse right-hand sides the forward solve supports skipping the leading
+zero rows (``start_row``); this mirrors how PARDISO's augmented incomplete
+factorization exploits the sparsity of ``B̃ᵢ`` during Schur-complement
+assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.numeric import CholeskyFactor
+
+__all__ = [
+    "sparse_trsv_lower",
+    "sparse_trsv_upper",
+    "sparse_trsm_lower",
+    "sparse_trsm_upper",
+    "csc_trsm_lower",
+    "csc_trsm_upper",
+]
+
+
+def sparse_trsv_lower(
+    factor: CholeskyFactor, b: np.ndarray, start_row: int = 0
+) -> np.ndarray:
+    """Solve ``L y = b`` for a single right-hand side.
+
+    Parameters
+    ----------
+    factor:
+        The Cholesky factor (values in the permuted ordering).
+    b:
+        Right-hand side of shape ``(n,)`` (already permuted).
+    start_row:
+        First possibly nonzero row of ``b``; earlier rows are skipped, which
+        is valid because the forward substitution leaves them identically
+        zero.
+    """
+    s = factor.symbolic
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
+    y = np.array(b, dtype=float, copy=True)
+    for j in range(start_row, s.n):
+        p0 = col_ptr[j]
+        p1 = col_ptr[j + 1]
+        yj = y[j] / values[p0]
+        y[j] = yj
+        if yj != 0.0 and p1 > p0 + 1:
+            y[row_idx[p0 + 1 : p1]] -= values[p0 + 1 : p1] * yj
+    return y
+
+
+def sparse_trsv_upper(factor: CholeskyFactor, b: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ x = b`` for a single right-hand side."""
+    s = factor.symbolic
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
+    x = np.array(b, dtype=float, copy=True)
+    for j in range(s.n - 1, -1, -1):
+        p0 = col_ptr[j]
+        p1 = col_ptr[j + 1]
+        if p1 > p0 + 1:
+            x[j] -= values[p0 + 1 : p1] @ x[row_idx[p0 + 1 : p1]]
+        x[j] /= values[p0]
+    return x
+
+
+def sparse_trsm_lower(
+    factor: CholeskyFactor, B: np.ndarray, start_rows: np.ndarray | None = None
+) -> np.ndarray:
+    """Solve ``L Y = B`` for a dense multi-column right-hand side.
+
+    Parameters
+    ----------
+    factor:
+        The Cholesky factor.
+    B:
+        Dense right-hand side, shape ``(n, nrhs)`` (already permuted).
+    start_rows:
+        Optional per-column first nonzero row.  Only the global minimum is
+        used to skip leading rows (all columns share the same elimination
+        order); pass the per-column values for bookkeeping/cost purposes.
+    """
+    s = factor.symbolic
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
+    Y = np.array(B, dtype=float, copy=True)
+    if Y.ndim != 2 or Y.shape[0] != s.n:
+        raise ValueError("B must have shape (n, nrhs)")
+    start = int(start_rows.min()) if start_rows is not None and start_rows.size else 0
+    for j in range(start, s.n):
+        p0 = col_ptr[j]
+        p1 = col_ptr[j + 1]
+        yj = Y[j, :] / values[p0]
+        Y[j, :] = yj
+        if p1 > p0 + 1:
+            Y[row_idx[p0 + 1 : p1], :] -= np.outer(values[p0 + 1 : p1], yj)
+    return Y
+
+
+def sparse_trsm_upper(factor: CholeskyFactor, B: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ X = B`` for a dense multi-column right-hand side."""
+    s = factor.symbolic
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
+    X = np.array(B, dtype=float, copy=True)
+    if X.ndim != 2 or X.shape[0] != s.n:
+        raise ValueError("B must have shape (n, nrhs)")
+    for j in range(s.n - 1, -1, -1):
+        p0 = col_ptr[j]
+        p1 = col_ptr[j + 1]
+        if p1 > p0 + 1:
+            X[j, :] -= values[p0 + 1 : p1] @ X[row_idx[p0 + 1 : p1], :]
+        X[j, :] /= values[p0]
+    return X
+
+
+def csc_trsm_lower(L, B: np.ndarray, start_row: int = 0) -> np.ndarray:
+    """Solve ``L Y = B`` for a lower-triangular SciPy CSC matrix.
+
+    ``L`` must have sorted indices so that the diagonal entry is the first
+    stored entry of every column.  This generic variant backs the simulated
+    cuSPARSE TRSM kernel, which receives plain CSR/CSC matrices rather than
+    :class:`~repro.sparse.numeric.CholeskyFactor` objects.
+    """
+    import scipy.sparse as sp
+
+    Lc = sp.csc_matrix(L)
+    Lc.sort_indices()
+    n = Lc.shape[0]
+    indptr, indices, data = Lc.indptr, Lc.indices, Lc.data
+    Y = np.array(B, dtype=float, copy=True)
+    single = Y.ndim == 1
+    if single:
+        Y = Y[:, None]
+    for j in range(start_row, n):
+        p0, p1 = indptr[j], indptr[j + 1]
+        yj = Y[j, :] / data[p0]
+        Y[j, :] = yj
+        if p1 > p0 + 1:
+            Y[indices[p0 + 1 : p1], :] -= np.outer(data[p0 + 1 : p1], yj)
+    return Y[:, 0] if single else Y
+
+
+def csc_trsm_upper(L, B: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ X = B`` given the lower-triangular CSC matrix ``L``."""
+    import scipy.sparse as sp
+
+    Lc = sp.csc_matrix(L)
+    Lc.sort_indices()
+    n = Lc.shape[0]
+    indptr, indices, data = Lc.indptr, Lc.indices, Lc.data
+    X = np.array(B, dtype=float, copy=True)
+    single = X.ndim == 1
+    if single:
+        X = X[:, None]
+    for j in range(n - 1, -1, -1):
+        p0, p1 = indptr[j], indptr[j + 1]
+        if p1 > p0 + 1:
+            X[j, :] -= data[p0 + 1 : p1] @ X[indices[p0 + 1 : p1], :]
+        X[j, :] /= data[p0]
+    return X[:, 0] if single else X

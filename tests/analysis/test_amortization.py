@@ -1,0 +1,64 @@
+"""Tests of the amortization / speedup analytics (Figures 6 and 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.amortization import (
+    ApproachTiming,
+    amortization_point,
+    best_approach_curve,
+    speedup_curve,
+    total_time,
+)
+
+
+IMPLICIT = ApproachTiming("impl mkl", preprocessing_seconds=1.0, application_seconds=1.0)
+EXPLICIT = ApproachTiming("expl gpu", preprocessing_seconds=10.0, application_seconds=0.1)
+SLOW = ApproachTiming("expl cholmod", preprocessing_seconds=50.0, application_seconds=0.5)
+
+
+def test_total_time_linear_in_iterations():
+    iters = np.array([1, 10, 100])
+    assert np.allclose(total_time(IMPLICIT, iters), 1.0 + iters)
+    assert np.allclose(EXPLICIT.total(iters), 10.0 + 0.1 * iters)
+
+
+def test_amortization_point_basic():
+    # explicit becomes cheaper when 1 + k > 10 + 0.1 k  ->  k > 10
+    k = amortization_point(EXPLICIT, IMPLICIT)
+    assert k == 10
+    assert EXPLICIT.total(k + 1) < IMPLICIT.total(k + 1)
+    assert EXPLICIT.total(k - 1) > IMPLICIT.total(k - 1)
+
+
+def test_amortization_point_never_or_immediately():
+    never = ApproachTiming("bad", preprocessing_seconds=10.0, application_seconds=2.0)
+    assert amortization_point(never, IMPLICIT) is None
+    always = ApproachTiming("free", preprocessing_seconds=0.5, application_seconds=0.5)
+    assert amortization_point(always, IMPLICIT) == 0
+    # cap on the search range
+    far = ApproachTiming("far", preprocessing_seconds=1e9, application_seconds=0.9999)
+    assert amortization_point(far, IMPLICIT, max_iterations=100) is None
+
+
+def test_best_approach_curve_switches_at_crossover():
+    iters = np.array([1, 5, 10, 20, 100, 1000])
+    curve = best_approach_curve([IMPLICIT, EXPLICIT, SLOW], iters, baseline="impl mkl")
+    assert curve.best_names[0] == "impl mkl"
+    assert curve.best_names[-1] == "expl gpu"
+    # the best curve is the pointwise minimum
+    stack = np.stack([t.total(iters) for t in (IMPLICIT, EXPLICIT, SLOW)])
+    assert np.allclose(curve.best_times, stack.min(axis=0))
+    # speedup grows with the iteration count and approaches the apply ratio
+    assert np.all(np.diff(curve.speedups) >= -1e-12)
+    assert curve.speedups[-1] == pytest.approx(1.0 / 0.1, rel=0.1)
+
+
+def test_speedup_curve_shortcut_and_missing_baseline():
+    iters = np.array([1, 100])
+    speedups = speedup_curve([IMPLICIT, EXPLICIT], iters)
+    assert speedups.shape == (2,)
+    with pytest.raises(ValueError):
+        best_approach_curve([EXPLICIT], iters, baseline="impl mkl")

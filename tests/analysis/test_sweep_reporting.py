@@ -1,0 +1,60 @@
+"""Tests of the sweep engine and the plain-text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sweep import sweep_configurations
+
+
+def test_sweep_runs_full_grid_and_merges_records():
+    result = sweep_configurations(
+        {"a": [1, 2], "b": ["x", "y"]},
+        measure=lambda a, b: {"value": a * 10 + (1 if b == "y" else 0)},
+    )
+    assert len(result.records) == 4
+    assert result.parameters == ["a", "b"]
+    assert result.filter(a=2, b="y")[0]["value"] == 21
+    assert result.column("value") == [10, 11, 20, 21]
+
+
+def test_sweep_skip_predicate():
+    result = sweep_configurations(
+        {"a": [1, 2, 3]},
+        measure=lambda a: {"sq": a * a},
+        skip=lambda a: a == 2,
+    )
+    assert [r["a"] for r in result.records] == [1, 3]
+
+
+def test_sweep_series_extraction_sorted():
+    result = sweep_configurations(
+        {"n": [4, 2, 8], "mode": ["m"]},
+        measure=lambda n, mode: {"t": float(n) ** 2},
+    )
+    series = result.series("n", "t", mode="m")
+    assert series == [(2, 4.0), (4, 16.0), (8, 64.0)]
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        ["name", "value"], [["syrk", 1.5], ["trsm", 20]], title="Table X"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Table X"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+def test_format_series_output():
+    text = format_series(
+        {"legacy": [(256, 1.5), (512, 3.0)]},
+        x_label="dofs",
+        y_label="ms",
+        title="Fig 3",
+    )
+    assert "Fig 3" in text
+    assert "[legacy]" in text
+    assert "256" in text and "512" in text

@@ -1,0 +1,70 @@
+"""Tests of the timing ledger and the virtual thread clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.timing import PhaseTiming, ThreadClocks, TimingLedger
+
+
+def test_thread_clocks_round_robin_and_elapsed():
+    clocks = ThreadClocks(2)
+    assert clocks.thread_of(0) == 0
+    assert clocks.thread_of(3) == 1
+    clocks.advance(0, 1.0)
+    clocks.advance(1, 3.0)
+    clocks.advance(2, 2.0)  # thread 0 again
+    assert clocks.now(0) == pytest.approx(3.0)
+    assert clocks.now(1) == pytest.approx(3.0)
+    assert clocks.elapsed == pytest.approx(3.0)
+    assert clocks.max_time == pytest.approx(3.0)
+
+
+def test_thread_clocks_origin_and_set_at_least():
+    clocks = ThreadClocks(1, origin=10.0)
+    clocks.set_at_least(0, 12.0)
+    assert clocks.elapsed == pytest.approx(2.0)
+    clocks.set_at_least(0, 5.0)  # cannot go backwards
+    assert clocks.now(0) == pytest.approx(12.0)
+    with pytest.raises(ValueError):
+        clocks.advance(0, -1.0)
+    with pytest.raises(ValueError):
+        ThreadClocks(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_threads=st.integers(min_value=1, max_value=8),
+    durations=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=40),
+)
+def test_property_parallel_loop_bounds(n_threads, durations):
+    """Property: max/n_threads ≤ elapsed ≤ serial sum, and ≥ longest item."""
+    clocks = ThreadClocks(n_threads)
+    for i, duration in enumerate(durations):
+        clocks.advance(i, duration)
+    total = sum(durations)
+    assert clocks.elapsed <= total + 1e-9
+    assert clocks.elapsed >= total / n_threads - 1e-9
+    assert clocks.elapsed >= max(durations) - 1e-9
+
+
+def test_phase_timing_breakdown_accumulation():
+    phase = PhaseTiming(name="apply", simulated_seconds=1.0)
+    phase.add("gemv", 0.25)
+    phase.add("gemv", 0.25)
+    phase.add("transfer", 0.1)
+    assert phase.breakdown == {"gemv": 0.5, "transfer": 0.1}
+
+
+def test_ledger_totals_means_and_last():
+    ledger = TimingLedger()
+    ledger.record(PhaseTiming("apply", 1.0))
+    ledger.record(PhaseTiming("apply", 3.0))
+    ledger.record(PhaseTiming("preprocessing", 10.0))
+    assert ledger.total("apply") == pytest.approx(4.0)
+    assert ledger.mean("apply") == pytest.approx(2.0)
+    assert ledger.count("apply") == 2
+    assert ledger.last("apply").simulated_seconds == 3.0
+    assert ledger.last("preparation") is None
+    assert ledger.mean("preparation") == 0.0

@@ -1,0 +1,61 @@
+"""Tests of the machine / cluster topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import ClusterResources, Machine, MachineConfig
+from repro.decomposition import decompose_box
+from repro.gpu.costmodel import CudaVersion
+
+
+def test_machine_config_defaults_match_karolina_numa_domain():
+    config = MachineConfig()
+    assert config.threads_per_cluster == 16
+    assert config.streams_per_cluster == 16
+    assert config.gpu_memory_bytes == 40 * 1024**3
+
+
+def test_with_cuda_creates_modified_copy():
+    config = MachineConfig()
+    legacy = config.with_cuda(CudaVersion.LEGACY)
+    assert legacy.cuda_version is CudaVersion.LEGACY
+    assert config.cuda_version is CudaVersion.MODERN
+    assert legacy.threads_per_cluster == config.threads_per_cluster
+
+
+def test_machine_builds_one_cluster_per_decomposition_cluster():
+    dec = decompose_box(2, 2, 2, order=1, n_clusters=4)
+    machine = Machine.for_decomposition(dec)
+    assert machine.n_clusters == 4
+    assert machine.cluster(2).cluster_id == 2
+    with pytest.raises(ValueError):
+        Machine(n_clusters=0)
+
+
+def test_cluster_device_is_lazy_and_configured():
+    config = MachineConfig(threads_per_cluster=4, streams_per_cluster=8,
+                           cuda_version=CudaVersion.LEGACY)
+    cluster = ClusterResources(cluster_id=0, config=config)
+    assert not cluster.has_device
+    device = cluster.device
+    assert cluster.has_device
+    assert device.cuda_version is CudaVersion.LEGACY
+    assert len(cluster.streams) == 8
+    assert cluster.n_threads == 4
+    assert cluster.cpu is config.cpu_cost_model
+
+
+def test_stream_round_robin():
+    cluster = ClusterResources(0, MachineConfig(streams_per_cluster=3))
+    assert cluster.stream_for(0) is cluster.streams[0]
+    assert cluster.stream_for(4) is cluster.streams[1]
+
+
+def test_reset_gpu_timeline():
+    cluster = ClusterResources(0, MachineConfig(streams_per_cluster=2))
+    cluster.streams[0].submit("k", 1.0, 0.0)
+    cluster.reset_gpu_timeline()
+    assert cluster.streams[0].tail == 0.0
+    # resetting a cluster that never created a device is a no-op
+    ClusterResources(1, MachineConfig()).reset_gpu_timeline()

@@ -1,0 +1,102 @@
+"""Tests of the kernel bases and the fixing-node regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decomposition import decompose_box, regularize_stiffness, select_fixing_nodes
+from repro.fem.elasticity import LinearElasticityProblem
+from repro.fem.heat import HeatTransferProblem
+from repro.fem.mesh import structured_mesh
+
+
+CASES = [
+    ("heat", 2, 1),
+    ("heat", 3, 1),
+    ("heat", 3, 2),
+    ("elasticity", 2, 1),
+    ("elasticity", 3, 1),
+]
+
+
+def _physics(name):
+    return HeatTransferProblem() if name == "heat" else LinearElasticityProblem()
+
+
+def _dofs_per_node(name, dim):
+    return 1 if name == "heat" else dim
+
+
+@pytest.mark.parametrize(("name", "dim", "order"), CASES)
+def test_regularized_matrix_is_spd(name, dim, order):
+    mesh = structured_mesh(dim, 2, order=order)
+    physics = _physics(name)
+    K = physics.assemble_stiffness(mesh)
+    R = physics.kernel_basis(mesh)
+    reg = regularize_stiffness(K, R, mesh, _dofs_per_node(name, dim))
+    eigs = np.linalg.eigvalsh(reg.K_reg.toarray())
+    assert eigs.min() > 0.0
+    assert abs(reg.K_reg - reg.K_reg.T).max() < 1e-12
+
+
+@pytest.mark.parametrize(("name", "dim", "order"), CASES)
+def test_regularization_gives_exact_generalized_inverse(name, dim, order):
+    """``K K_reg⁻¹ K == K`` — the property the FETI derivation relies on."""
+    mesh = structured_mesh(dim, 2, order=order)
+    physics = _physics(name)
+    K = physics.assemble_stiffness(mesh).toarray()
+    R = physics.kernel_basis(mesh)
+    reg = regularize_stiffness(
+        physics.assemble_stiffness(mesh), R, mesh, _dofs_per_node(name, dim)
+    )
+    K_reg = reg.K_reg.toarray()
+    error = np.abs(K @ np.linalg.solve(K_reg, K) - K).max()
+    assert error < 1e-9 * np.abs(K).max()
+
+
+def test_regularization_preserves_sparsity():
+    mesh = structured_mesh(3, 3, order=1)
+    physics = HeatTransferProblem()
+    K = physics.assemble_stiffness(mesh)
+    reg = regularize_stiffness(K, physics.kernel_basis(mesh), mesh, 1)
+    # only the fixing-DOF block may be added: at most len(fixing)^2 new entries
+    added = reg.K_reg.nnz - K.nnz
+    assert added <= reg.fixing_dofs.size ** 2
+
+
+def test_fixing_nodes_are_spread_and_distinct():
+    mesh = structured_mesh(3, 3, order=1)
+    nodes = select_fixing_nodes(mesh, n_nodes=4)
+    assert nodes.size == 4
+    assert np.unique(nodes).size == 4
+    coords = mesh.coords[nodes]
+    # not collinear: rank of centred coordinates is >= 2
+    centred = coords - coords.mean(axis=0)
+    assert np.linalg.matrix_rank(centred) >= 2
+
+
+def test_custom_rho_and_invalid_kernel_shape():
+    mesh = structured_mesh(2, 2, order=1)
+    physics = HeatTransferProblem()
+    K = physics.assemble_stiffness(mesh)
+    R = physics.kernel_basis(mesh)
+    reg = regularize_stiffness(K, R, mesh, 1, rho=42.0)
+    assert reg.rho == 42.0
+    with pytest.raises(ValueError):
+        regularize_stiffness(K, R[:-1], mesh, 1)
+
+
+def test_regularization_within_decomposition_workflow():
+    dec = decompose_box(2, 2, 2, order=1)
+    physics = LinearElasticityProblem()
+    sub = dec.subdomains[3]
+    K = physics.assemble_stiffness(sub.mesh)
+    R = physics.kernel_basis(sub.mesh)
+    reg = regularize_stiffness(K, R, sub.mesh, 2)
+    # K_reg^{-1} restricted against the kernel reproduces rigid motions:
+    # K_reg @ R = rho * M M^T R has support only on fixing DOFs
+    residual = reg.K_reg @ R
+    mask = np.ones(K.shape[0], dtype=bool)
+    mask[reg.fixing_dofs] = False
+    assert np.abs(residual[mask]).max() < 1e-10

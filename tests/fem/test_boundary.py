@@ -1,0 +1,59 @@
+"""Tests of the Dirichlet boundary helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.boundary import dirichlet_dofs, node_dofs
+from repro.fem.mesh import structured_mesh
+
+
+def test_node_dofs_expansion():
+    dofs = node_dofs(np.array([0, 2]), dofs_per_node=3)
+    assert dofs.tolist() == [0, 1, 2, 6, 7, 8]
+
+
+def test_scalar_dirichlet_dofs():
+    mesh = structured_mesh(2, 3, order=1)
+    dofs = dirichlet_dofs(mesh, ("xmin",), dofs_per_node=1)
+    assert np.array_equal(dofs, mesh.boundary_nodes("xmin"))
+
+
+def test_vector_dirichlet_dofs_all_components():
+    mesh = structured_mesh(2, 2, order=1)
+    nodes = mesh.boundary_nodes("ymin")
+    dofs = dirichlet_dofs(mesh, ("ymin",), dofs_per_node=2)
+    assert dofs.size == 2 * nodes.size
+    assert set(dofs // 2) == set(nodes.tolist())
+
+
+def test_vector_dirichlet_dofs_single_component():
+    mesh = structured_mesh(2, 2, order=1)
+    dofs = dirichlet_dofs(mesh, ("ymin",), dofs_per_node=2, components=(1,))
+    assert np.all(dofs % 2 == 1)
+
+
+def test_multiple_faces_deduplicated():
+    mesh = structured_mesh(2, 2, order=1)
+    dofs = dirichlet_dofs(mesh, ("xmin", "ymin"), dofs_per_node=1)
+    # the corner node is shared but appears once
+    assert dofs.size == np.unique(dofs).size
+    assert dofs.size == 2 * 3 - 1
+
+
+def test_empty_faces_gives_empty_array():
+    mesh = structured_mesh(2, 2, order=1)
+    assert dirichlet_dofs(mesh, (), dofs_per_node=1).size == 0
+
+
+def test_invalid_component_rejected():
+    mesh = structured_mesh(2, 2, order=1)
+    with pytest.raises(ValueError):
+        dirichlet_dofs(mesh, ("xmin",), dofs_per_node=2, components=(2,))
+
+
+def test_invalid_face_for_dimension_rejected():
+    mesh = structured_mesh(2, 2, order=1)
+    with pytest.raises(ValueError):
+        mesh.boundary_nodes("zmin")

@@ -1,0 +1,105 @@
+"""Tests of the reference elements (shape functions and gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.elements import get_reference_element
+from repro.fem.quadrature import simplex_quadrature
+
+
+EXPECTED_NNODES = {(2, 1): 3, (2, 2): 6, (3, 1): 4, (3, 2): 10}
+
+
+def _node_coordinates(ref):
+    """Reference coordinates of the element nodes (vertices then mid-edges)."""
+    verts = np.vstack([np.zeros(ref.dim), np.eye(ref.dim)])
+    if ref.order == 1:
+        return verts
+    mids = np.array([(verts[a] + verts[b]) / 2.0 for a, b in ref.edges])
+    return np.vstack([verts, mids])
+
+
+@pytest.mark.parametrize(("dim", "order"), list(EXPECTED_NNODES))
+def test_node_counts(dim, order):
+    ref = get_reference_element(dim, order)
+    assert ref.nnodes == EXPECTED_NNODES[(dim, order)]
+
+
+@pytest.mark.parametrize(("dim", "order"), list(EXPECTED_NNODES))
+def test_partition_of_unity(dim, order):
+    ref = get_reference_element(dim, order)
+    rule = simplex_quadrature(dim, 3)
+    shapes = ref.shape_functions(rule.points)
+    assert np.allclose(shapes.sum(axis=1), 1.0)
+
+
+@pytest.mark.parametrize(("dim", "order"), list(EXPECTED_NNODES))
+def test_gradients_sum_to_zero(dim, order):
+    ref = get_reference_element(dim, order)
+    rule = simplex_quadrature(dim, 3)
+    grads = ref.shape_gradients(rule.points)
+    assert np.allclose(grads.sum(axis=1), 0.0, atol=1e-13)
+
+
+@pytest.mark.parametrize(("dim", "order"), list(EXPECTED_NNODES))
+def test_kronecker_delta_at_nodes(dim, order):
+    """Shape function ``i`` equals 1 at node ``i`` and 0 at the other nodes."""
+    ref = get_reference_element(dim, order)
+    nodes = _node_coordinates(ref)
+    values = ref.shape_functions(nodes)
+    assert np.allclose(values, np.eye(ref.nnodes), atol=1e-13)
+
+
+@pytest.mark.parametrize(("dim", "order"), list(EXPECTED_NNODES))
+def test_gradients_match_finite_differences(dim, order):
+    ref = get_reference_element(dim, order)
+    rng = np.random.default_rng(3)
+    # interior points (strictly inside the simplex)
+    pts = rng.dirichlet(np.ones(dim + 1), size=5)[:, :dim] * 0.9 + 0.02
+    grads = ref.shape_gradients(pts)
+    eps = 1e-7
+    for axis in range(dim):
+        shifted_plus = pts.copy()
+        shifted_plus[:, axis] += eps
+        shifted_minus = pts.copy()
+        shifted_minus[:, axis] -= eps
+        fd = (
+            ref.shape_functions(shifted_plus) - ref.shape_functions(shifted_minus)
+        ) / (2 * eps)
+        assert np.allclose(grads[:, :, axis], fd, atol=1e-6)
+
+
+def test_linear_element_exactly_reproduces_linear_fields():
+    ref = get_reference_element(2, 1)
+    pts = np.array([[0.2, 0.3], [0.1, 0.6]])
+    shapes = ref.shape_functions(pts)
+    nodes = _node_coordinates(ref)
+    field = 2.0 + 3.0 * nodes[:, 0] - 1.5 * nodes[:, 1]
+    interpolated = shapes @ field
+    expected = 2.0 + 3.0 * pts[:, 0] - 1.5 * pts[:, 1]
+    assert np.allclose(interpolated, expected)
+
+
+def test_quadratic_element_exactly_reproduces_quadratic_fields():
+    ref = get_reference_element(3, 2)
+    pts = np.array([[0.2, 0.3, 0.1], [0.1, 0.1, 0.5]])
+    nodes = _node_coordinates(ref)
+
+    def f(x):
+        return 1.0 + x[:, 0] ** 2 - 2.0 * x[:, 1] * x[:, 2] + 0.5 * x[:, 2]
+
+    interpolated = ref.shape_functions(pts) @ f(nodes)
+    assert np.allclose(interpolated, f(pts))
+
+
+@pytest.mark.parametrize("bad", [(1, 1), (4, 1), (2, 3), (2, 0)])
+def test_invalid_element_rejected(bad):
+    with pytest.raises(ValueError):
+        get_reference_element(*bad)
+
+
+def test_quadrature_degree_property():
+    assert get_reference_element(2, 1).quadrature_degree == 1
+    assert get_reference_element(3, 2).quadrature_degree == 2

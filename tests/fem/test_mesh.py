@@ -1,0 +1,129 @@
+"""Tests of the structured mesh generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import structured_mesh
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("order", [1, 2])
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_counts_and_volume(dim, order, n):
+    mesh = structured_mesh(dim, n, order=order)
+    cells_per_box = 2 if dim == 2 else 6
+    assert mesh.ncells == cells_per_box * n**dim
+    vertices = (n + 1) ** dim
+    if order == 1:
+        assert mesh.nnodes == vertices
+    else:
+        assert mesh.nnodes > vertices
+    assert mesh.total_volume() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_anisotropic_cell_counts(dim):
+    shape = (2, 3) if dim == 2 else (2, 3, 1)
+    mesh = structured_mesh(dim, shape, order=1)
+    assert mesh.ncells_per_dim == shape
+    assert mesh.total_volume() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("order", [1, 2])
+def test_lattice_coordinates_match_positions(dim, order):
+    mesh = structured_mesh(dim, 2, order=order)
+    half_cell = (mesh.box_size / np.array(mesh.ncells_per_dim)) / 2.0
+    reconstructed = mesh.origin + mesh.lattice * half_cell
+    assert np.allclose(reconstructed, mesh.coords)
+
+
+def test_lattice_consistency_between_subdomain_meshes():
+    """Two adjacent subdomain meshes agree on interface lattice coordinates."""
+    left = structured_mesh(
+        2, 2, order=2, origin=(0.0, 0.0), box_size=(0.5, 1.0),
+        global_cell_size=(0.25, 0.5), lattice_offset=(0, 0),
+    )
+    right = structured_mesh(
+        2, 2, order=2, origin=(0.5, 0.0), box_size=(0.5, 1.0),
+        global_cell_size=(0.25, 0.5), lattice_offset=(4, 0),
+    )
+    left_face = {tuple(l) for l in left.lattice[left.boundary_nodes("xmax")]}
+    right_face = {tuple(l) for l in right.lattice[right.boundary_nodes("xmin")]}
+    assert left_face == right_face
+    assert len(left_face) == 5  # 3 vertices + 2 mid-edge nodes
+
+
+@pytest.mark.parametrize("face", ["xmin", "xmax", "ymin", "ymax"])
+def test_boundary_nodes_2d(face):
+    mesh = structured_mesh(2, 3, order=1)
+    nodes = mesh.boundary_nodes(face)
+    assert nodes.size == 4
+    axis = {"x": 0, "y": 1}[face[0]]
+    value = 0.0 if face.endswith("min") else 1.0
+    assert np.allclose(mesh.coords[nodes, axis], value)
+
+
+def test_boundary_nodes_whole_boundary_3d():
+    mesh = structured_mesh(3, 2, order=1)
+    boundary = mesh.boundary_nodes()
+    assert boundary.size == 27 - 1  # all but the single interior node
+
+
+def test_quadratic_midpoints_lie_on_edges():
+    mesh = structured_mesh(2, 2, order=2)
+    ref = mesh.reference_element
+    for cell in mesh.cells:
+        verts = mesh.coords[cell[:3]]
+        for k, (a, b) in enumerate(ref.edges):
+            mid = mesh.coords[cell[3 + k]]
+            assert np.allclose(mid, 0.5 * (verts[a] + verts[b]))
+
+
+def test_cells_reference_valid_nodes():
+    mesh = structured_mesh(3, 2, order=2)
+    assert mesh.cells.min() >= 0
+    assert mesh.cells.max() < mesh.nnodes
+    # no degenerate cells
+    assert np.all(mesh.cell_volumes() > 0.0)
+
+
+def test_shifted_box():
+    mesh = structured_mesh(2, 2, order=1, origin=(1.0, 2.0), box_size=(2.0, 4.0))
+    assert mesh.coords[:, 0].min() == pytest.approx(1.0)
+    assert mesh.coords[:, 0].max() == pytest.approx(3.0)
+    assert mesh.total_volume() == pytest.approx(8.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"dim": 4, "ncells_per_dim": 2},
+        {"dim": 2, "ncells_per_dim": 2, "order": 3},
+        {"dim": 2, "ncells_per_dim": 0},
+        {"dim": 3, "ncells_per_dim": (2, 2)},
+        {"dim": 2, "ncells_per_dim": 2, "origin": (0.0,)},
+    ],
+)
+def test_invalid_arguments_rejected(kwargs):
+    with pytest.raises(ValueError):
+        structured_mesh(**kwargs)
+
+
+def test_wrong_connectivity_width_rejected():
+    mesh = structured_mesh(2, 2, order=1)
+    from repro.fem.mesh import Mesh
+
+    with pytest.raises(ValueError):
+        Mesh(
+            dim=2,
+            order=2,  # quadratic expects 6 nodes per cell, connectivity has 3
+            coords=mesh.coords,
+            cells=mesh.cells,
+            lattice=mesh.lattice,
+            origin=mesh.origin,
+            box_size=mesh.box_size,
+            ncells_per_dim=mesh.ncells_per_dim,
+        )

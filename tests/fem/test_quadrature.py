@@ -1,0 +1,78 @@
+"""Tests of the simplex quadrature rules."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import simplex_quadrature
+
+
+REFERENCE_VOLUME = {2: 0.5, 3: 1.0 / 6.0}
+
+
+def _monomial_integral_over_simplex(dim: int, powers: tuple[int, ...]) -> float:
+    """Exact integral of ``x^a y^b (z^c)`` over the reference simplex.
+
+    Uses the classic formula ``∫ x^a y^b z^c = a! b! c! / (a+b+c+dim)!``.
+    """
+    from math import factorial
+
+    num = 1.0
+    for p in powers:
+        num *= factorial(p)
+    return num / factorial(sum(powers) + dim)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("degree", [1, 2, 3])
+def test_weights_sum_to_reference_volume(dim, degree):
+    rule = simplex_quadrature(dim, degree)
+    assert rule.weights.sum() == pytest.approx(REFERENCE_VOLUME[dim])
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("degree", [1, 2, 3])
+def test_points_inside_simplex(dim, degree):
+    rule = simplex_quadrature(dim, degree)
+    assert np.all(rule.points >= -1e-12)
+    assert np.all(rule.points.sum(axis=1) <= 1.0 + 1e-12)
+    assert rule.points.shape[1] == dim
+    assert rule.npoints == rule.weights.shape[0]
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("requested", [1, 2, 3])
+def test_polynomial_exactness(dim, requested):
+    """The rule integrates every monomial up to its exactness degree."""
+    rule = simplex_quadrature(dim, requested)
+    for powers in itertools.product(range(rule.degree + 1), repeat=dim):
+        if sum(powers) > rule.degree:
+            continue
+        values = np.ones(rule.npoints)
+        for axis, p in enumerate(powers):
+            values *= rule.points[:, axis] ** p
+        approx = float(rule.weights @ values)
+        exact = _monomial_integral_over_simplex(dim, powers)
+        assert approx == pytest.approx(exact, rel=1e-12, abs=1e-14), powers
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_higher_degree_request_gives_at_least_that_degree(dim):
+    rule = simplex_quadrature(dim, 3)
+    assert rule.degree >= 3
+
+
+def test_invalid_dimension_rejected():
+    with pytest.raises(ValueError):
+        simplex_quadrature(4, 2)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_degree_one_is_single_point(dim):
+    rule = simplex_quadrature(dim, 1)
+    assert rule.npoints == 1
+    # The single point is the centroid.
+    assert np.allclose(rule.points[0], 1.0 / (dim + 1))

@@ -1,0 +1,85 @@
+"""Tests of the Table-II auto-configuration and the exhaustive sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition import decompose_box
+from repro.fem.heat import HeatTransferProblem
+from repro.feti.autotune import (
+    DENSE_SPARSE_CROSSOVER_DOFS,
+    exhaustive_parameter_search,
+    recommend_assembly_config,
+)
+from repro.feti.config import (
+    CudaLibraryVersion,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+    ScatterGatherDevice,
+)
+from repro.feti.problem import FetiProblem
+
+
+def test_modern_recommendation_matches_table2():
+    for dim, expected_rhs in ((2, RhsOrder.COL_MAJOR), (3, RhsOrder.ROW_MAJOR)):
+        cfg = recommend_assembly_config(CudaLibraryVersion.MODERN, dim, 5000)
+        assert cfg.path is Path.SYRK
+        assert cfg.forward_factor_storage is FactorStorage.DENSE
+        assert cfg.forward_factor_order is FactorOrder.COL_MAJOR
+        assert cfg.rhs_order is expected_rhs
+        assert cfg.scatter_gather is ScatterGatherDevice.GPU
+
+
+def test_legacy_recommendation_matches_table2():
+    cfg_2d = recommend_assembly_config(CudaLibraryVersion.LEGACY, 2, 5000)
+    assert cfg_2d.forward_factor_storage is FactorStorage.SPARSE
+    assert cfg_2d.forward_factor_order is FactorOrder.ROW_MAJOR
+    assert cfg_2d.rhs_order is RhsOrder.ROW_MAJOR
+
+    small_3d = recommend_assembly_config(CudaLibraryVersion.LEGACY, 3, 5000)
+    assert small_3d.forward_factor_storage is FactorStorage.DENSE
+    assert small_3d.forward_factor_order is FactorOrder.COL_MAJOR
+
+    large_3d = recommend_assembly_config(
+        CudaLibraryVersion.LEGACY, 3, DENSE_SPARSE_CROSSOVER_DOFS + 1
+    )
+    assert large_3d.forward_factor_storage is FactorStorage.SPARSE
+    assert large_3d.forward_factor_order is FactorOrder.ROW_MAJOR
+
+
+def test_scatter_gather_override_and_invalid_dim():
+    cfg = recommend_assembly_config(
+        CudaLibraryVersion.MODERN, 2, 100, scatter_gather=ScatterGatherDevice.CPU
+    )
+    assert cfg.scatter_gather is ScatterGatherDevice.CPU
+    with pytest.raises(ValueError):
+        recommend_assembly_config(CudaLibraryVersion.MODERN, 4, 100)
+
+
+@pytest.mark.parametrize("library", list(CudaLibraryVersion))
+def test_exhaustive_search_prefers_syrk(library, small_machine_config, heat):
+    """The sweep on a small problem reproduces the paper's headline: SYRK wins."""
+    dec = decompose_box(2, (2, 1), 3, order=1)
+    problem = FetiProblem.from_physics(heat, dec, dirichlet_faces=("xmin",))
+    # restrict the swept configurations to a manageable subset for speed
+    from repro.feti.config import AssemblyConfig
+
+    configs = [
+        AssemblyConfig(path=Path.SYRK, forward_factor_storage=FactorStorage.DENSE,
+                       backward_factor_storage=FactorStorage.DENSE),
+        AssemblyConfig(path=Path.TRSM, forward_factor_storage=FactorStorage.DENSE,
+                       backward_factor_storage=FactorStorage.DENSE),
+        AssemblyConfig(path=Path.SYRK, forward_factor_storage=FactorStorage.SPARSE,
+                       backward_factor_storage=FactorStorage.SPARSE),
+        AssemblyConfig(path=Path.TRSM, forward_factor_storage=FactorStorage.SPARSE,
+                       backward_factor_storage=FactorStorage.SPARSE),
+    ]
+    results = exhaustive_parameter_search(
+        problem, library, machine_config=small_machine_config, configs=configs
+    )
+    assert len(results) == 4
+    assert results[0].config.path is Path.SYRK
+    assert results[0].total <= results[-1].total
+    assert all(m.preprocessing_seconds > 0 for m in results)

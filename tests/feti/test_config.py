@@ -1,0 +1,91 @@
+"""Tests of the configuration enums and dataclasses (Tables I and III)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.feti.config import (
+    ASSEMBLY_PARAMETER_SPACE,
+    AssemblyConfig,
+    CudaLibraryVersion,
+    DualOperatorApproach,
+    FactorOrder,
+    FactorStorage,
+    Path,
+    RhsOrder,
+    ScatterGatherDevice,
+)
+from repro.gpu.costmodel import CudaVersion
+
+
+def test_table_one_parameter_space_is_complete():
+    """Table I lists 7 parameters; the sweep space contains exactly them."""
+    assert set(ASSEMBLY_PARAMETER_SPACE) == {
+        "path",
+        "forward_factor_storage",
+        "backward_factor_storage",
+        "forward_factor_order",
+        "backward_factor_order",
+        "rhs_order",
+        "scatter_gather",
+    }
+    sizes = [len(v) for v in ASSEMBLY_PARAMETER_SPACE.values()]
+    assert all(size == 2 for size in sizes)
+    # full cartesian size: 2^7 = 128 raw combinations
+    assert len(list(itertools.product(*ASSEMBLY_PARAMETER_SPACE.values()))) == 128
+
+
+def test_assembly_config_defaults_and_description():
+    cfg = AssemblyConfig()
+    assert cfg.path is Path.SYRK
+    assert cfg.scatter_gather is ScatterGatherDevice.GPU
+    text = cfg.describe()
+    assert "syrk" in text and "gpu" in text
+
+
+def test_assembly_config_is_hashable_and_frozen():
+    cfg = AssemblyConfig()
+    assert hash(cfg) == hash(AssemblyConfig())
+    with pytest.raises(AttributeError):
+        cfg.path = Path.TRSM  # type: ignore[misc]
+
+
+def test_table_three_has_nine_approaches():
+    assert len(DualOperatorApproach) == 9
+    names = {a.value for a in DualOperatorApproach}
+    assert names == {
+        "impl mkl", "impl cholmod", "impl legacy", "impl modern",
+        "expl mkl", "expl cholmod", "expl legacy", "expl modern", "expl hybrid",
+    }
+    for approach in DualOperatorApproach:
+        assert isinstance(approach.description, str) and approach.description
+
+
+def test_approach_flags():
+    assert DualOperatorApproach.EXPLICIT_GPU_MODERN.is_explicit
+    assert not DualOperatorApproach.IMPLICIT_MKL.is_explicit
+    assert DualOperatorApproach.EXPLICIT_HYBRID.uses_gpu
+    assert not DualOperatorApproach.EXPLICIT_CHOLMOD.uses_gpu
+    assert DualOperatorApproach.IMPLICIT_MKL.cuda_library is None
+    assert (
+        DualOperatorApproach.EXPLICIT_GPU_LEGACY.cuda_library
+        is CudaLibraryVersion.LEGACY
+    )
+    assert (
+        DualOperatorApproach.EXPLICIT_HYBRID.cuda_library is CudaLibraryVersion.MODERN
+    )
+
+
+def test_cuda_library_maps_to_cost_model_version():
+    assert CudaLibraryVersion.LEGACY.cuda_version is CudaVersion.LEGACY
+    assert CudaLibraryVersion.MODERN.cuda_version is CudaVersion.MODERN
+
+
+def test_enum_values_match_paper_vocabulary():
+    assert FactorStorage.SPARSE.value == "sparse"
+    assert FactorStorage.DENSE.value == "dense"
+    assert FactorOrder.ROW_MAJOR.value == "row-major"
+    assert RhsOrder.COL_MAJOR.value == "col-major"
+    assert Path.TRSM.value == "trsm"

@@ -1,0 +1,71 @@
+"""Tests of the dual preconditioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.feti.preconditioner import (
+    DirichletPreconditioner,
+    IdentityPreconditioner,
+    LumpedPreconditioner,
+)
+from repro.feti.pcpg import PcpgOptions
+from repro.feti.solver import FetiSolver, FetiSolverOptions, PreconditionerKind
+
+
+def test_identity_returns_input(heat_problem_2d):
+    pre = IdentityPreconditioner(heat_problem_2d)
+    x = np.arange(heat_problem_2d.n_lambda, dtype=float)
+    assert pre.apply(x) is x
+
+
+@pytest.mark.parametrize("cls", [LumpedPreconditioner, DirichletPreconditioner])
+def test_preconditioner_is_symmetric_positive_semidefinite(heat_problem_2d, cls):
+    pre = cls(heat_problem_2d)
+    n = heat_problem_2d.n_lambda
+    rng = np.random.default_rng(0)
+    # build the dense operator by applying to basis vectors
+    M = np.column_stack([pre.apply(np.eye(n)[:, j]) for j in range(n)])
+    assert np.allclose(M, M.T, atol=1e-9)
+    eigs = np.linalg.eigvalsh(M)
+    assert eigs.min() > -1e-9
+    x = rng.standard_normal(n)
+    assert x @ pre.apply(x) >= -1e-9
+
+
+@pytest.mark.parametrize("cls", [LumpedPreconditioner, DirichletPreconditioner])
+def test_preconditioner_linear(heat_problem_2d, cls):
+    pre = cls(heat_problem_2d)
+    rng = np.random.default_rng(1)
+    n = heat_problem_2d.n_lambda
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    assert np.allclose(pre.apply(2.0 * x + y), 2.0 * pre.apply(x) + pre.apply(y))
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [PreconditionerKind.NONE, PreconditionerKind.LUMPED, PreconditionerKind.DIRICHLET],
+)
+def test_all_preconditioners_converge_to_same_solution(heat_problem_2d, kind):
+    reference = None
+    options = FetiSolverOptions(
+        preconditioner=kind, pcpg=PcpgOptions(tolerance=1e-10, max_iterations=300)
+    )
+    solver = FetiSolver(heat_problem_2d, options)
+    solution = solver.solve()
+    assert solution.converged
+    u = np.concatenate(solution.primal)
+    u_ref, _ = heat_problem_2d.saddle_point_solution()
+    assert np.allclose(u, u_ref, atol=1e-7)
+
+
+def test_preconditioning_reduces_iterations(elasticity_problem_2d):
+    """The lumped preconditioner should not need more iterations than none."""
+    def run(kind):
+        opts = FetiSolverOptions(
+            preconditioner=kind, pcpg=PcpgOptions(tolerance=1e-8, max_iterations=400)
+        )
+        return FetiSolver(elasticity_problem_2d, opts).solve().iterations
+
+    assert run(PreconditionerKind.LUMPED) <= run(PreconditionerKind.NONE) + 2

@@ -1,0 +1,65 @@
+"""Tests of the coarse-space projector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.feti.projector import Projector
+
+
+@pytest.fixture()
+def projector(heat_problem_2d):
+    return Projector(heat_problem_2d.assemble_G())
+
+
+def test_projector_annihilates_range_of_G(projector, heat_problem_2d):
+    G = heat_problem_2d.assemble_G()
+    rng = np.random.default_rng(0)
+    y = rng.standard_normal(G.shape[1])
+    assert np.allclose(projector.apply(G @ y), 0.0, atol=1e-10)
+
+
+def test_projector_is_idempotent_and_symmetric(projector, heat_problem_2d):
+    n = heat_problem_2d.n_lambda
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(n)
+    px = projector.apply(x)
+    assert np.allclose(projector.apply(px), px, atol=1e-10)
+    # symmetry: <Px, y> == <x, Py>
+    y = rng.standard_normal(n)
+    assert projector.apply(x) @ y == pytest.approx(x @ projector.apply(y))
+
+
+def test_projected_vector_is_orthogonal_to_G(projector, heat_problem_2d):
+    G = heat_problem_2d.assemble_G()
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(heat_problem_2d.n_lambda)
+    assert np.allclose(G.T @ projector.apply(x), 0.0, atol=1e-10)
+
+
+def test_initial_lambda_satisfies_coarse_constraint(projector, heat_problem_2d):
+    e = heat_problem_2d.compute_e()
+    lam0 = projector.initial_lambda(e)
+    G = heat_problem_2d.assemble_G()
+    assert np.allclose(G.T @ lam0, e, atol=1e-10)
+
+
+def test_alpha_recovery_formula(projector, heat_problem_2d):
+    rng = np.random.default_rng(3)
+    residual = rng.standard_normal(heat_problem_2d.n_lambda)
+    alpha = projector.alpha(residual)
+    G = heat_problem_2d.assemble_G()
+    gtg = (G.T @ G).toarray()
+    assert np.allclose(gtg @ alpha, -(G.T @ residual), atol=1e-10)
+
+
+def test_callable_interface(projector, heat_problem_2d):
+    x = np.ones(heat_problem_2d.n_lambda)
+    assert np.allclose(projector(x), projector.apply(x))
+
+
+def test_empty_G_rejected():
+    with pytest.raises(ValueError):
+        Projector(sp.csr_matrix((5, 0)))

@@ -1,0 +1,111 @@
+"""Numerical tests of the simulated cuBLAS kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.gpu import Device, cublas
+from repro.gpu.arrays import DeviceDenseMatrix, DeviceVector
+
+
+@pytest.fixture()
+def ctx():
+    device = Device()
+    stream = device.create_streams(1)[0]
+    rng = np.random.default_rng(123)
+    return device, stream, rng
+
+
+def _dense(array, **kwargs):
+    return DeviceDenseMatrix(array=np.array(array, dtype=float), **kwargs)
+
+
+def test_trsm_lower_and_transposed(ctx):
+    device, stream, rng = ctx
+    n, k = 15, 4
+    L = np.tril(rng.standard_normal((n, n))) + 4.0 * np.eye(n)
+    B = rng.standard_normal((n, k))
+    rhs = _dense(B)
+    op = cublas.trsm(device, stream, _dense(L), rhs, 0.0, lower=True)
+    assert np.allclose(L @ rhs.array, B)
+    rhs2 = _dense(B)
+    cublas.trsm(device, stream, _dense(L), rhs2, op.end_time, lower=True, transpose=True)
+    assert np.allclose(L.T @ rhs2.array, B)
+    assert stream.tail > 0
+
+
+def test_trsm_upper(ctx):
+    device, stream, rng = ctx
+    n = 10
+    U = np.triu(rng.standard_normal((n, n))) + 3.0 * np.eye(n)
+    B = rng.standard_normal((n, 2))
+    rhs = _dense(B)
+    cublas.trsm(device, stream, _dense(U), rhs, 0.0, lower=False)
+    assert np.allclose(U @ rhs.array, B)
+
+
+def test_syrk_both_modes(ctx):
+    device, stream, rng = ctx
+    A = rng.standard_normal((20, 6))
+    out = _dense(np.zeros((6, 6)))
+    cublas.syrk(device, stream, _dense(A), out, 0.0, transpose=True)
+    assert np.allclose(out.array, A.T @ A)
+    out2 = _dense(np.zeros((20, 20)))
+    cublas.syrk(device, stream, _dense(A), out2, 0.0, transpose=False)
+    assert np.allclose(out2.array, A @ A.T)
+
+
+def test_gemm_with_transposes(ctx):
+    device, stream, rng = ctx
+    A = rng.standard_normal((5, 7))
+    B = rng.standard_normal((7, 3))
+    out = _dense(np.zeros((5, 3)))
+    cublas.gemm(device, stream, _dense(A), _dense(B), out, 0.0)
+    assert np.allclose(out.array, A @ B)
+    out2 = _dense(np.zeros((7, 7)))
+    cublas.gemm(
+        device, stream, _dense(A), _dense(A), out2, 0.0, transpose_a=True, transpose_b=False
+    )
+    assert np.allclose(out2.array, A.T @ A)
+
+
+def test_gemv_and_symv(ctx):
+    device, stream, rng = ctx
+    A = rng.standard_normal((8, 8))
+    S = A + A.T
+    x = DeviceVector(array=rng.standard_normal(8))
+    y = DeviceVector(array=np.zeros(8))
+    cublas.gemv(device, stream, _dense(A), x, y, 0.0)
+    assert np.allclose(y.array, A @ x.array)
+    cublas.gemv(device, stream, _dense(A), x, y, 0.0, transpose=True)
+    assert np.allclose(y.array, A.T @ x.array)
+    cublas.symv(device, stream, _dense(S), x, y, 0.0)
+    assert np.allclose(y.array, S @ x.array)
+
+
+def test_geam_transpose_and_copy(ctx):
+    device, stream, rng = ctx
+    A = rng.standard_normal((4, 9))
+    out = _dense(np.zeros((9, 4)))
+    cublas.geam_transpose(device, stream, _dense(A), out, 0.0)
+    assert np.allclose(out.array, A.T)
+    op = cublas.axpy_like_copy(device, stream, 1024, 0.0)
+    assert op.duration > 0
+
+
+def test_kernels_consistent_with_scipy_reference(ctx):
+    """End-to-end: GPU TRSM+SYRK assembly equals the SciPy computation."""
+    device, stream, rng = ctx
+    n, m = 25, 7
+    A = rng.standard_normal((n, n))
+    spd = A @ A.T + n * np.eye(n)
+    L = np.linalg.cholesky(spd)
+    Bt = rng.standard_normal((n, m))
+    rhs = _dense(Bt)
+    cublas.trsm(device, stream, _dense(L), rhs, 0.0, lower=True)
+    out = _dense(np.zeros((m, m)))
+    cublas.syrk(device, stream, rhs, out, 0.0, transpose=True)
+    expected = Bt.T @ np.linalg.inv(spd) @ Bt
+    assert np.allclose(out.array, expected, atol=1e-10)

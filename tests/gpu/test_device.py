@@ -1,0 +1,99 @@
+"""Tests of the simulated device (transfers, arena creation, streams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gpu import CudaVersion, Device, DeviceProperties, MatrixOrder
+
+
+@pytest.fixture()
+def device():
+    return Device(
+        properties=DeviceProperties(memory_capacity_bytes=2 * 1024**2, default_stream_count=4),
+        cuda_version=CudaVersion.LEGACY,
+    )
+
+
+def test_stream_creation_default_and_explicit(device):
+    streams = device.create_streams()
+    assert len(streams) == 4
+    streams = device.create_streams(2)
+    assert len(streams) == 2
+    with pytest.raises(ValueError):
+        device.create_streams(0)
+
+
+def test_lazy_default_streams():
+    device = Device()
+    assert len(device.streams) == DeviceProperties().default_stream_count
+
+
+def test_upload_vector_and_download(device):
+    stream = device.create_streams(1)[0]
+    x = np.arange(10.0)
+    vec, op = device.upload_vector(x, stream, submit_time=0.0, label="x")
+    assert np.array_equal(vec.array, x)
+    assert vec.nbytes == 80
+    assert op.duration > 0
+    assert device.memory.used_bytes >= 80
+    back, op2 = device.download_vector(vec, stream, submit_time=op.end_time)
+    assert np.array_equal(back, x)
+    assert op2.start_time >= op.end_time
+
+
+def test_upload_dense_and_sparse(device):
+    stream = device.create_streams(1)[0]
+    a = np.eye(5)
+    mat, _ = device.upload_dense(a, stream, 0.0, order=MatrixOrder.ROW_MAJOR)
+    assert mat.shape == (5, 5)
+    s = sp.random(20, 30, density=0.1, random_state=np.random.default_rng(0))
+    smat, _ = device.upload_sparse(s, stream, 0.0, label="S")
+    assert smat.shape == (20, 30)
+    assert smat.nnz == s.nnz
+    assert smat.nbytes > 0
+
+
+def test_update_sparse_values_charges_only_values(device):
+    stream = device.create_streams(1)[0]
+    s = sp.identity(50, format="csr")
+    smat, _ = device.upload_sparse(s, stream, 0.0)
+    used_before = device.memory.used_bytes
+    op = device.update_sparse_values(smat, 2.0 * s, stream, 1.0)
+    assert device.memory.used_bytes == used_before  # no new allocation
+    assert np.allclose(smat.matrix.diagonal(), 2.0)
+    assert op.duration < device.cost_model.transfer(smat.nbytes)
+
+
+def test_temporary_arena_lifecycle(device):
+    device.create_streams(1)
+    arena = device.allocate_temporary_arena(reserve_bytes=1024)
+    assert arena.capacity_bytes > 0
+    assert device.memory.free_bytes == 1024
+    with pytest.raises(RuntimeError):
+        device.allocate_temporary_arena()
+    assert device.require_temporary() is arena
+
+
+def test_require_temporary_before_creation_raises():
+    device = Device()
+    with pytest.raises(RuntimeError):
+        device.require_temporary()
+
+
+def test_synchronize_and_reset_timeline(device):
+    streams = device.create_streams(3)
+    streams[1].submit("k", 5.0, 0.0)
+    assert device.synchronize(1.0) == 5.0
+    device.reset_timeline()
+    assert device.synchronize(0.0) == 0.0
+
+
+def test_symmetric_triangle_upload_halves_bytes(device):
+    stream = device.create_streams(1)[0]
+    a = np.zeros((10, 10))
+    full, _ = device.upload_dense(a, stream, 0.0)
+    tri, _ = device.upload_dense(a, stream, 0.0, symmetric_triangle=True)
+    assert tri.nbytes == full.nbytes // 2

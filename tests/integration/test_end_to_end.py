@@ -1,0 +1,149 @@
+"""Cross-module integration tests.
+
+These tests exercise the full pipeline (FEM assembly → decomposition →
+sparse factorization → simulated GPU assembly → PCPG → primal recovery) on
+small but non-trivial problems and check the physical plausibility of the
+results, not just internal consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decomposition import decompose_box
+from repro.fem.elasticity import LinearElasticityProblem
+from repro.fem.heat import HeatTransferProblem
+from repro.feti.config import DualOperatorApproach
+from repro.feti.pcpg import PcpgOptions
+from repro.feti.problem import FetiProblem
+from repro.feti.solver import FetiSolver, FetiSolverOptions, PreconditionerKind
+from repro.analysis.amortization import ApproachTiming, amortization_point
+
+
+def _options(approach, machine_config, tol=1e-9):
+    return FetiSolverOptions(
+        approach=approach,
+        preconditioner=PreconditionerKind.LUMPED,
+        pcpg=PcpgOptions(tolerance=tol, max_iterations=500),
+        machine_config=machine_config,
+    )
+
+
+def test_heat_solution_is_physically_plausible(small_machine_config):
+    """Heated square with one cold edge: temperatures are positive and peak away
+    from the Dirichlet boundary."""
+    heat = HeatTransferProblem(conductivity=1.0, source=1.0)
+    dec = decompose_box(2, 2, 4, order=2)
+    problem = FetiProblem.from_physics(heat, dec, dirichlet_faces=("xmin",))
+    solver = FetiSolver(
+        problem, _options(DualOperatorApproach.EXPLICIT_GPU_MODERN, small_machine_config)
+    )
+    solution = solver.solve()
+    assert solution.converged
+    for sub, u in zip(problem.subdomains, solution.primal):
+        assert u.min() > -1e-8
+        # the Dirichlet face is at temperature ~0
+        cold = np.abs(sub.mesh.coords[:, 0]) < 1e-12
+        if cold.any():
+            assert np.abs(u[cold]).max() < 1e-6
+    # the hottest point is on the far (xmax) side
+    all_u = np.concatenate(solution.primal)
+    all_x = np.concatenate([s.mesh.coords[:, 0] for s in problem.subdomains])
+    assert all_x[np.argmax(all_u)] > 0.5
+
+
+def test_elasticity_beam_bends_downwards(small_machine_config):
+    """A cantilever under gravity deflects downwards, most at the free end."""
+    physics = LinearElasticityProblem(young=100.0, poisson=0.3, body_force=(0.0, -1.0))
+    dec = decompose_box(2, (2, 1), 3, order=1)
+    problem = FetiProblem.from_physics(physics, dec, dirichlet_faces=("xmin",))
+    solver = FetiSolver(
+        problem, _options(DualOperatorApproach.IMPLICIT_MKL, small_machine_config)
+    )
+    solution = solver.solve()
+    assert solution.converged
+    tip_deflections = []
+    for sub, u in zip(problem.subdomains, solution.primal):
+        uy = u[1::2]
+        assert uy.max() < 1e-8  # nothing moves upwards (beyond round-off)
+        at_tip = np.abs(sub.mesh.coords[:, 0] - 1.0) < 1e-12
+        if at_tip.any():
+            tip_deflections.append(uy[at_tip].min())
+    assert min(tip_deflections) < -1e-4
+
+
+def test_consistency_across_all_approaches_on_3d_heat(small_machine_config):
+    """All nine approaches give the same λ and the same primal solution."""
+    heat = HeatTransferProblem()
+    dec = decompose_box(3, (2, 1, 1), 2, order=1)
+    problem = FetiProblem.from_physics(heat, dec, dirichlet_faces=("xmin",))
+    reference = None
+    for approach in DualOperatorApproach:
+        solver = FetiSolver(problem, _options(approach, small_machine_config))
+        solution = solver.solve()
+        assert solution.converged, approach
+        u = np.concatenate(solution.primal)
+        if reference is None:
+            reference = u
+        else:
+            assert np.allclose(u, reference, atol=1e-6), approach
+
+
+def test_amortization_behaviour_matches_paper_narrative(small_machine_config):
+    """The mechanisms behind the paper's amortization story hold on a small
+    problem: explicit GPU preprocessing is the expensive phase (it assembles
+    the ``F̃ᵢ``), the explicit GPU application beats the implicit GPU
+    application, and for small subdomains the CPU implicit approach remains
+    the fastest per application — exactly the regime where the paper says the
+    acceleration does not pay off (CUDA latency dominates)."""
+    heat = HeatTransferProblem()
+    dec = decompose_box(3, (2, 1, 1), 3, order=1)
+    problem = FetiProblem.from_physics(heat, dec, dirichlet_faces=("xmin",))
+
+    timings = {}
+    for approach in (
+        DualOperatorApproach.IMPLICIT_MKL,
+        DualOperatorApproach.IMPLICIT_GPU_MODERN,
+        DualOperatorApproach.EXPLICIT_GPU_MODERN,
+    ):
+        solver = FetiSolver(problem, _options(approach, small_machine_config, tol=1e-8))
+        solver.preprocess()
+        operator = solver.operator
+        operator.apply(np.zeros(problem.n_lambda))
+        timings[approach] = ApproachTiming(
+            approach.value,
+            preprocessing_seconds=operator.preprocessing_time,
+            application_seconds=operator.application_time,
+        )
+
+    implicit_cpu = timings[DualOperatorApproach.IMPLICIT_MKL]
+    implicit_gpu = timings[DualOperatorApproach.IMPLICIT_GPU_MODERN]
+    explicit_gpu = timings[DualOperatorApproach.EXPLICIT_GPU_MODERN]
+    # assembling F̃ᵢ costs more than just factorizing
+    assert explicit_gpu.preprocessing_seconds > implicit_cpu.preprocessing_seconds
+    # on the GPU, the explicit application beats the implicit one
+    assert explicit_gpu.application_seconds < implicit_gpu.application_seconds
+    # small subdomains: CUDA latency dominates, the CPU stays ahead per
+    # application, hence no amortization point against the CPU baseline here
+    assert amortization_point(explicit_gpu, implicit_cpu) is None
+    # but the explicit GPU approach does amortize against the implicit GPU one
+    point = amortization_point(explicit_gpu, implicit_gpu)
+    assert point is not None and point >= 0
+
+
+def test_dirichlet_values_respected(small_machine_config):
+    """Non-homogeneous Dirichlet data enters through c and shows up in u."""
+    heat = HeatTransferProblem(source=0.0)
+    dec = decompose_box(2, 2, 3, order=1)
+    problem = FetiProblem.from_physics(
+        heat, dec, dirichlet_faces=("xmin",), dirichlet_value=5.0
+    )
+    solver = FetiSolver(
+        problem, _options(DualOperatorApproach.IMPLICIT_CHOLMOD, small_machine_config)
+    )
+    solution = solver.solve()
+    assert solution.converged
+    # with zero source and a single Dirichlet face the solution is constant 5
+    for u in solution.primal:
+        assert np.allclose(u, 5.0, atol=1e-6)

@@ -1,0 +1,63 @@
+"""Tests of the CPU cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparse.costmodel import CpuCostModel, CpuLibrary
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CpuCostModel()
+
+
+def test_all_costs_positive(model):
+    assert model.symbolic_factorization(1000, 5000) > 0
+    assert model.numeric_factorization(1e6, 5000, CpuLibrary.CHOLMOD) > 0
+    assert model.factor_extraction(5000) > 0
+    assert model.sparse_trsv(5000) > 0
+    assert model.sparse_trsm(5000, 100) > 0
+    assert model.spmv(2000) > 0
+    assert model.spmm(2000, 50) > 0
+    assert model.gemv(300, 300) > 0
+    assert model.syrk(300, 2000) > 0
+    assert model.schur_complement(5000, 1e6, 100, 0.5, CpuLibrary.MKL_PARDISO) > 0
+
+
+def test_costs_monotone_in_size(model):
+    assert model.numeric_factorization(1e7, 5_000, CpuLibrary.CHOLMOD) < \
+        model.numeric_factorization(1e8, 50_000, CpuLibrary.CHOLMOD)
+    assert model.sparse_trsm(5000, 10) < model.sparse_trsm(5000, 1000)
+    assert model.gemv(100, 100) < model.gemv(1000, 1000)
+
+
+def test_mkl_factorization_speedup_decays_with_size(model):
+    """MKL is ~2x faster for small factors, on par for very large ones."""
+    small_ratio = model.numeric_factorization(
+        1e6, 10_000, CpuLibrary.CHOLMOD
+    ) / model.numeric_factorization(1e6, 10_000, CpuLibrary.MKL_PARDISO)
+    large_ratio = model.numeric_factorization(
+        1e11, 4e8, CpuLibrary.CHOLMOD
+    ) / model.numeric_factorization(1e11, 4e8, CpuLibrary.MKL_PARDISO)
+    assert small_ratio > 1.6
+    assert large_ratio < 1.2
+
+
+def test_schur_complement_exploits_rhs_sparsity_only_for_mkl(model):
+    kwargs = dict(factor_nnz=200_000, factorization_flops=5e7, n_dual=400, ndofs=4000)
+    mkl_sparse = model.schur_complement(rhs_fill=0.1, library=CpuLibrary.MKL_PARDISO, **kwargs)
+    mkl_dense = model.schur_complement(rhs_fill=1.0, library=CpuLibrary.MKL_PARDISO, **kwargs)
+    cholmod_sparse = model.schur_complement(rhs_fill=0.1, library=CpuLibrary.CHOLMOD, **kwargs)
+    cholmod_dense = model.schur_complement(rhs_fill=1.0, library=CpuLibrary.CHOLMOD, **kwargs)
+    assert mkl_sparse < mkl_dense
+    assert cholmod_sparse == pytest.approx(cholmod_dense)
+    # CHOLMOD's plain TRSM approach is the slowest explicit CPU assembly
+    assert cholmod_dense > mkl_sparse
+    # the explicit assembly always costs at least the factorization alone
+    assert mkl_sparse > model.numeric_factorization(5e7, 200_000, CpuLibrary.MKL_PARDISO)
+
+
+def test_overhead_floor(model):
+    assert model.spmv(0) >= model.call_overhead_seconds
+    assert model.gemv(1, 1) >= model.call_overhead_seconds

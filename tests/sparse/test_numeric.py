@@ -1,0 +1,113 @@
+"""Tests of the numeric Cholesky factorization, including property-based ones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.fem.elasticity import LinearElasticityProblem
+from repro.fem.heat import HeatTransferProblem
+from repro.fem.mesh import structured_mesh
+from repro.decomposition import regularize_stiffness
+from repro.sparse import OrderingMethod, numeric_cholesky, symbolic_cholesky
+from repro.sparse.numeric import NotPositiveDefiniteError
+
+from tests.conftest import random_spd_matrix
+
+
+@pytest.mark.parametrize("ordering", list(OrderingMethod))
+@pytest.mark.parametrize("n,density", [(10, 0.3), (60, 0.08), (150, 0.03)])
+def test_factorization_reconstructs_matrix(ordering, n, density):
+    rng = np.random.default_rng(n)
+    A = random_spd_matrix(n, density, rng)
+    s = symbolic_cholesky(A, ordering=ordering)
+    f = numeric_cholesky(A, s)
+    L = f.to_csc().toarray()
+    Ap = A.toarray()[np.ix_(s.perm, s.perm)]
+    assert np.allclose(L @ L.T, Ap, atol=1e-9 * np.abs(Ap).max())
+    assert np.allclose(np.triu(L, 1), 0.0)
+    assert np.all(f.diagonal() > 0.0)
+
+
+@pytest.mark.parametrize(
+    ("physics", "dim", "order"),
+    [
+        (HeatTransferProblem(), 2, 1),
+        (HeatTransferProblem(), 3, 1),
+        (LinearElasticityProblem(), 2, 2),
+    ],
+)
+def test_factorization_of_regularized_fem_matrices(physics, dim, order):
+    mesh = structured_mesh(dim, 2, order=order)
+    K = physics.assemble_stiffness(mesh)
+    dofs_per_node = 1 if isinstance(physics, HeatTransferProblem) else dim
+    reg = regularize_stiffness(K, physics.kernel_basis(mesh), mesh, dofs_per_node)
+    s = symbolic_cholesky(reg.K_reg)
+    f = numeric_cholesky(reg.K_reg, s)
+    L = f.to_csc().toarray()
+    Ap = reg.K_reg.toarray()[np.ix_(s.perm, s.perm)]
+    assert np.allclose(L @ L.T, Ap, atol=1e-10 * np.abs(Ap).max())
+
+
+def test_upper_factor_view_is_transpose():
+    rng = np.random.default_rng(5)
+    A = random_spd_matrix(30, 0.15, rng)
+    s = symbolic_cholesky(A)
+    f = numeric_cholesky(A, s)
+    assert np.allclose(f.to_csr_upper().toarray(), f.to_csc().toarray().T)
+    assert f.n == 30
+    assert f.nnz == s.nnz
+
+
+def test_indefinite_matrix_raises():
+    A = sp.csr_matrix(np.array([[1.0, 2.0], [2.0, 1.0]]))  # eigenvalues 3, -1
+    s = symbolic_cholesky(A)
+    with pytest.raises(NotPositiveDefiniteError):
+        numeric_cholesky(A, s)
+
+
+def test_refactorization_with_new_values_same_pattern():
+    """The symbolic analysis is reusable across numeric refactorizations."""
+    rng = np.random.default_rng(11)
+    A = random_spd_matrix(50, 0.1, rng)
+    s = symbolic_cholesky(A)
+    f1 = numeric_cholesky(A, s)
+    A2 = (2.5 * A).tocsr()
+    f2 = numeric_cholesky(A2, s)
+    assert np.allclose(f2.values, np.sqrt(2.5) * f1.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=28),
+    density=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_factorization_roundtrip(n, density, seed):
+    """Property: for any random SPD matrix, L Lᵀ reproduces P A Pᵀ."""
+    rng = np.random.default_rng(seed)
+    A = random_spd_matrix(n, density, rng)
+    s = symbolic_cholesky(A, ordering=OrderingMethod.RCM)
+    f = numeric_cholesky(A, s)
+    L = f.to_csc().toarray()
+    Ap = A.toarray()[np.ix_(s.perm, s.perm)]
+    assert np.allclose(L @ L.T, Ap, atol=1e-8 * max(1.0, np.abs(Ap).max()))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_diagonal_dominant_band_matrix(n, seed):
+    """Property: banded diagonally dominant matrices factorize without fill errors."""
+    rng = np.random.default_rng(seed)
+    off = -rng.random(n - 1)
+    main = 2.0 + np.abs(off).max() * 2.0 + rng.random(n)
+    A = sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+    s = symbolic_cholesky(A, ordering=OrderingMethod.NATURAL)
+    f = numeric_cholesky(A, s)
+    L = f.to_csc().toarray()
+    assert np.allclose(L @ L.T, A.toarray(), atol=1e-10)

@@ -1,0 +1,106 @@
+"""Tests of the symbolic Cholesky analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.heat import HeatTransferProblem
+from repro.fem.mesh import structured_mesh
+from repro.sparse import OrderingMethod, elimination_tree, symbolic_cholesky
+
+from tests.conftest import random_spd_matrix
+
+
+def _dense_cholesky_pattern(A: np.ndarray) -> np.ndarray:
+    """Reference factor pattern from a dense Cholesky with explicit zeros kept."""
+    L = np.linalg.cholesky(A)
+    return np.abs(L) > 1e-14
+
+
+@pytest.fixture(scope="module")
+def spd_small():
+    rng = np.random.default_rng(7)
+    return random_spd_matrix(40, 0.12, rng)
+
+
+def test_elimination_tree_structure(spd_small):
+    lower = sp.tril(spd_small, format="csr")
+    parent = elimination_tree(lower)
+    n = spd_small.shape[0]
+    assert parent.shape == (n,)
+    # parents are later columns (or -1 for roots)
+    for j, p in enumerate(parent):
+        assert p == -1 or p > j
+    # at least one root exists
+    assert np.any(parent == -1)
+
+
+@pytest.mark.parametrize("ordering", [OrderingMethod.NATURAL, OrderingMethod.RCM])
+def test_pattern_contains_numeric_factor(spd_small, ordering):
+    """The symbolic pattern covers every structurally possible nonzero of L."""
+    s = symbolic_cholesky(spd_small, ordering=ordering)
+    A = spd_small.toarray()[np.ix_(s.perm, s.perm)]
+    dense_pattern = _dense_cholesky_pattern(A)
+    symbolic_pattern = np.zeros_like(dense_pattern)
+    for j in range(s.n):
+        rows = s.row_idx[s.col_ptr[j] : s.col_ptr[j + 1]]
+        symbolic_pattern[rows, j] = True
+    # every numeric nonzero is predicted symbolically (no cancellation misses)
+    assert np.all(symbolic_pattern | ~dense_pattern)
+
+
+def test_columns_start_with_diagonal(spd_small):
+    s = symbolic_cholesky(spd_small)
+    for j in range(s.n):
+        rows = s.row_idx[s.col_ptr[j] : s.col_ptr[j + 1]]
+        assert rows[0] == j
+        assert np.all(np.diff(rows) > 0)
+
+
+def test_column_counts_consistent(spd_small):
+    s = symbolic_cholesky(spd_small)
+    assert s.column_counts.sum() == s.nnz
+    assert s.nnz == s.row_idx.shape[0]
+    assert 0.0 < s.factor_density() <= 1.0
+    assert s.fill_ratio >= 1.0
+
+
+def test_flop_estimates_positive_and_monotone():
+    mesh_small = structured_mesh(2, 3, order=1)
+    mesh_large = structured_mesh(2, 6, order=1)
+    heat = HeatTransferProblem()
+    reg = sp.identity(mesh_small.nnodes)
+    s_small = symbolic_cholesky(heat.assemble_stiffness(mesh_small) + reg)
+    s_large = symbolic_cholesky(
+        heat.assemble_stiffness(mesh_large) + sp.identity(mesh_large.nnodes)
+    )
+    assert 0 < s_small.factorization_flops() < s_large.factorization_flops()
+    assert s_small.solve_flops(1) < s_small.solve_flops(10)
+
+
+def test_tridiagonal_has_no_fill():
+    n = 25
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    A = sp.diags([off, main, off], [-1, 0, 1]).tocsr()
+    s = symbolic_cholesky(A, ordering=OrderingMethod.NATURAL)
+    assert s.nnz == 2 * n - 1
+    assert s.fill_ratio == pytest.approx(1.0)
+    # elimination tree of a tridiagonal matrix is a chain
+    assert np.array_equal(s.parent[:-1], np.arange(1, n))
+
+
+def test_externally_supplied_permutation(spd_small):
+    n = spd_small.shape[0]
+    perm = np.arange(n)[::-1].copy()
+    s = symbolic_cholesky(spd_small, perm=perm)
+    assert np.array_equal(s.perm, perm)
+    with pytest.raises(ValueError):
+        symbolic_cholesky(spd_small, perm=perm[:-1])
+
+
+def test_non_square_rejected():
+    with pytest.raises(ValueError):
+        symbolic_cholesky(sp.csr_matrix(np.ones((3, 4))))

@@ -1,0 +1,32 @@
+"""Tests of the top-level package interface (lazy re-exports, version)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_lazy_exports_resolve():
+    assert repro.HeatTransferProblem is not None
+    assert repro.FetiSolver is not None
+    assert repro.AssemblyConfig is not None
+    assert repro.structured_mesh(2, 1).nnodes == 4
+    # resolved names are cached in the module namespace
+    assert "FetiSolver" in vars(repro)
+
+
+def test_dir_lists_lazy_names():
+    names = dir(repro)
+    assert "FetiProblem" in names
+    assert "DualOperatorApproach" in names
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        _ = repro.not_a_real_symbol
