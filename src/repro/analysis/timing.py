@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["ThreadClocks", "PhaseTiming", "TimingLedger"]
 
 
@@ -50,6 +52,22 @@ class ThreadClocks:
         t = self.thread_of(item_index)
         self.clocks[t] += seconds
         return self.clocks[t]
+
+    def advance_many(self, costs, start_index: int = 0) -> None:
+        """Advance all clocks from a per-item cost array in one shot.
+
+        Equivalent to ``advance(start_index + i, costs[i])`` for every item,
+        with the same round-robin thread assignment; the per-thread totals are
+        accumulated vectorized instead of one Python call per item.
+        """
+        costs = np.asarray(costs, dtype=float)
+        if costs.size and float(costs.min()) < 0.0:
+            raise ValueError("cannot advance a clock backwards")
+        for t in range(self.n_threads):
+            first = (t - start_index) % self.n_threads
+            chunk = costs[first :: self.n_threads]
+            if chunk.size:
+                self.clocks[t] += float(chunk.sum())
 
     def set_at_least(self, item_index: int, time: float) -> float:
         """Raise the owning thread's clock to ``time`` if it is behind."""

@@ -28,7 +28,31 @@ import scipy.sparse as sp
 
 from repro.decomposition.partition import BoxDecomposition
 
-__all__ = ["SubdomainGluing", "GluingData", "build_gluing"]
+__all__ = ["SubdomainGluing", "GluingData", "build_gluing", "flat_scatter_maps"]
+
+
+def flat_scatter_maps(
+    lambda_ids: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-subdomain multiplier indices into fancy-index arrays.
+
+    The per-subdomain scatter/gather of the dual operators
+
+    * ``local = global[lambda_ids_i]``  (scatter), and
+    * ``np.add.at(global, lambda_ids_i, local)``  (gather)
+
+    can run as *one* vectorized take / ``np.add.at`` over all subdomains when
+    the index arrays are concatenated.  Returns ``(flat_ids, offsets)`` where
+    ``flat_ids`` is the concatenation of all ``lambda_ids`` and ``offsets``
+    (length ``len(lambda_ids) + 1``) delimits each subdomain's slice.
+    """
+    ids = [np.asarray(a, dtype=np.int64) for a in lambda_ids]
+    sizes = np.array([a.shape[0] for a in ids], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    flat = (
+        np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+    )
+    return flat, offsets
 
 
 @dataclass
@@ -87,6 +111,18 @@ class GluingData:
     per_subdomain: list[SubdomainGluing]
     lambda_subdomains: list[tuple[int, ...]]
     dofs_per_node: int
+
+    def scatter_maps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached flat scatter/gather index maps over all subdomains.
+
+        See :func:`flat_scatter_maps`; the result is computed once and reused
+        by the batched execution engine.
+        """
+        cached = getattr(self, "_scatter_maps", None)
+        if cached is None:
+            cached = flat_scatter_maps([s.lambda_ids for s in self.per_subdomain])
+            self._scatter_maps = cached
+        return cached
 
     def global_B(self, ndofs_per_subdomain: Sequence[int]) -> sp.csr_matrix:
         """Assemble the global ``B = [B_1, B_2, ..., B_N]`` (mainly for tests).

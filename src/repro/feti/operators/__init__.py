@@ -23,6 +23,12 @@ from __future__ import annotations
 from repro.cluster.topology import Machine, MachineConfig
 from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators.base import DualOperatorBase
+from repro.feti.operators.batch import (
+    BatchedDenseApply,
+    ClusterBatch,
+    FlatIndexMap,
+    SubdomainBatchEngine,
+)
 from repro.feti.operators.implicit_cpu import ImplicitCpuDualOperator
 from repro.feti.operators.explicit_cpu import ExplicitCpuDualOperator
 from repro.feti.operators.implicit_gpu import ImplicitGpuDualOperator
@@ -33,6 +39,10 @@ from repro.sparse.costmodel import CpuLibrary
 
 __all__ = [
     "DualOperatorBase",
+    "SubdomainBatchEngine",
+    "ClusterBatch",
+    "FlatIndexMap",
+    "BatchedDenseApply",
     "ImplicitCpuDualOperator",
     "ExplicitCpuDualOperator",
     "ImplicitGpuDualOperator",
@@ -47,6 +57,7 @@ def make_dual_operator(
     problem: FetiProblem,
     machine_config: MachineConfig | None = None,
     assembly_config: AssemblyConfig | None = None,
+    batched: bool = True,
 ) -> DualOperatorBase:
     """Instantiate one of the nine Table-III dual-operator approaches.
 
@@ -63,6 +74,11 @@ def make_dual_operator(
         Explicit-assembly parameters (Table I); ignored by implicit and
         CPU-only approaches except for the scatter/gather setting used by
         the GPU application phase.
+    batched:
+        Run the apply phase through the batched subdomain execution engine
+        (:mod:`repro.feti.operators.batch`) instead of the per-subdomain
+        Python loop.  Numerically identical; the loop is the reference
+        fallback.
     """
     config = machine_config or MachineConfig()
     cuda = approach.cuda_library
@@ -72,25 +88,35 @@ def make_dual_operator(
     assembly = assembly_config or AssemblyConfig()
 
     if approach is DualOperatorApproach.IMPLICIT_MKL:
-        return ImplicitCpuDualOperator(problem, machine, library=CpuLibrary.MKL_PARDISO)
+        return ImplicitCpuDualOperator(
+            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched
+        )
     if approach is DualOperatorApproach.IMPLICIT_CHOLMOD:
-        return ImplicitCpuDualOperator(problem, machine, library=CpuLibrary.CHOLMOD)
+        return ImplicitCpuDualOperator(
+            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched
+        )
     if approach is DualOperatorApproach.EXPLICIT_MKL:
-        return ExplicitCpuDualOperator(problem, machine, library=CpuLibrary.MKL_PARDISO)
+        return ExplicitCpuDualOperator(
+            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched
+        )
     if approach is DualOperatorApproach.EXPLICIT_CHOLMOD:
-        return ExplicitCpuDualOperator(problem, machine, library=CpuLibrary.CHOLMOD)
+        return ExplicitCpuDualOperator(
+            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched
+        )
     if approach in (
         DualOperatorApproach.IMPLICIT_GPU_LEGACY,
         DualOperatorApproach.IMPLICIT_GPU_MODERN,
     ):
-        return ImplicitGpuDualOperator(problem, machine, approach=approach)
+        return ImplicitGpuDualOperator(
+            problem, machine, approach=approach, batched=batched
+        )
     if approach in (
         DualOperatorApproach.EXPLICIT_GPU_LEGACY,
         DualOperatorApproach.EXPLICIT_GPU_MODERN,
     ):
         return ExplicitGpuDualOperator(
-            problem, machine, approach=approach, config=assembly
+            problem, machine, approach=approach, config=assembly, batched=batched
         )
     if approach is DualOperatorApproach.EXPLICIT_HYBRID:
-        return HybridDualOperator(problem, machine, config=assembly)
+        return HybridDualOperator(problem, machine, config=assembly, batched=batched)
     raise ValueError(f"unknown approach: {approach}")

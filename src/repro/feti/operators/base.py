@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.timing import PhaseTiming, ThreadClocks, TimingLedger
 from repro.cluster.topology import ClusterResources, Machine
 from repro.feti.config import AssemblyConfig, DualOperatorApproach
+from repro.feti.operators.batch import SubdomainBatchEngine
 from repro.feti.problem import FetiProblem, SubdomainProblem
 from repro.sparse.solvers import SparseSolverBase
 
@@ -36,13 +37,21 @@ class DualOperatorBase(abc.ABC):
         problem: FetiProblem,
         machine: Machine,
         config: AssemblyConfig | None = None,
+        batched: bool = True,
     ) -> None:
         self.problem = problem
         self.machine = machine
         self.config = config or AssemblyConfig()
+        #: Run the apply phase through the batched subdomain execution
+        #: engine (vectorized scatter/gather and batched kernels) instead of
+        #: the per-subdomain Python loop.  Both paths are numerically
+        #: identical; the loop is kept as a reference/fallback.
+        self.batched = batched
         self.ledger = TimingLedger()
         self._prepared = False
         self._preprocessed = False
+        self._batch_engine: "SubdomainBatchEngine | None" = None
+        self._cluster_subdomains: dict[int, list[SubdomainProblem]] = {}
         #: Per-subdomain CPU factorizations (populated by subclasses); used
         #: for the dual right-hand side and the primal recovery.
         self._cpu_solvers: dict[int, SparseSolverBase] = {}
@@ -51,8 +60,17 @@ class DualOperatorBase(abc.ABC):
     # Cluster helpers                                                     #
     # ------------------------------------------------------------------ #
     def subdomains_of_cluster(self, cluster_id: int) -> list[SubdomainProblem]:
-        """Subdomains owned by one cluster."""
-        return [s for s in self.problem.subdomains if s.cluster == cluster_id]
+        """Subdomains owned by one cluster (cached: the grouping is static).
+
+        The apply phase runs once per PCPG iteration; without the cache every
+        call re-scans all subdomains per cluster, which is exactly the
+        per-subdomain interpreter overhead the batched engine removes.
+        """
+        subs = self._cluster_subdomains.get(cluster_id)
+        if subs is None:
+            subs = [s for s in self.problem.subdomains if s.cluster == cluster_id]
+            self._cluster_subdomains[cluster_id] = subs
+        return subs
 
     def cluster_resources(self, cluster_id: int) -> ClusterResources:
         """Resources of one cluster."""
@@ -62,6 +80,13 @@ class DualOperatorBase(abc.ABC):
         """Yield ``(resources, subdomains)`` for every cluster."""
         for cluster in self.machine.clusters:
             yield cluster, self.subdomains_of_cluster(cluster.cluster_id)
+
+    @property
+    def batch_engine(self) -> SubdomainBatchEngine:
+        """The batched subdomain execution engine (built once, lazily)."""
+        if self._batch_engine is None:
+            self._batch_engine = SubdomainBatchEngine(self.problem, self.machine)
+        return self._batch_engine
 
     # ------------------------------------------------------------------ #
     # Phase template methods                                              #
@@ -174,9 +199,18 @@ class DualOperatorBase(abc.ABC):
     def dual_rhs(self) -> np.ndarray:
         """Compute ``d = B K⁺ f − c`` using the per-subdomain factorizations."""
         d = -np.array(self.problem.c, dtype=float, copy=True)
-        for sub in self.problem.subdomains:
-            z = self.kplus_solve(sub.index, sub.f)
-            np.add.at(d, sub.lambda_ids, sub.B @ z)
+        subdomains = self.problem.subdomains
+        if not subdomains:
+            return d
+        if self.batched:
+            contributions = np.concatenate(
+                [sub.B @ self.kplus_solve(sub.index, sub.f) for sub in subdomains]
+            )
+            self.batch_engine.global_map.scatter_add(d, contributions)
+        else:
+            for sub in subdomains:
+                z = self.kplus_solve(sub.index, sub.f)
+                np.add.at(d, sub.lambda_ids, sub.B @ z)
         return d
 
     def primal_solution(self, lam: np.ndarray, alpha: np.ndarray) -> list[np.ndarray]:

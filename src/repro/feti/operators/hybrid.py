@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.topology import Machine
-from repro.feti.config import AssemblyConfig, DualOperatorApproach, ScatterGatherDevice
+from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators.base import DualOperatorBase
 from repro.feti.operators.explicit_gpu import (
     ExplicitGpuDualOperator,
@@ -38,10 +38,11 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         problem: FetiProblem,
         machine: Machine,
         config: AssemblyConfig | None = None,
+        batched: bool = True,
     ) -> None:
         # Bypass the ExplicitGpuDualOperator constructor: the hybrid approach
         # owns PARDISO-like CPU solvers and never uploads factors.
-        DualOperatorBase.__init__(self, problem, machine, config)
+        DualOperatorBase.__init__(self, problem, machine, config, batched=batched)
         self.approach = DualOperatorApproach.EXPLICIT_HYBRID
         self._cpu_solvers = {s.index: PardisoLikeSolver() for s in problem.subdomains}
         self._state = {s.index: _GpuState() for s in problem.subdomains}
@@ -84,27 +85,7 @@ class HybridDualOperator(ExplicitGpuDualOperator):
                     allocation=device.memory.allocate(8 * sub.n_lambda, "q"),
                 )
 
-            cluster_lambdas = (
-                np.unique(np.concatenate([s.lambda_ids for s in subs]))
-                if subs
-                else np.empty(0, dtype=np.int64)
-            )
-            cstate = _ClusterState(lambda_ids=cluster_lambdas)
-            if cluster_lambdas.size:
-                nbytes = 8 * cluster_lambdas.size
-                cstate.dual_in = DeviceVector(
-                    array=np.zeros(cluster_lambdas.size),
-                    allocation=device.memory.allocate(nbytes, "cluster-dual-in"),
-                )
-                cstate.dual_out = DeviceVector(
-                    array=np.zeros(cluster_lambdas.size),
-                    allocation=device.memory.allocate(nbytes, "cluster-dual-out"),
-                )
-            self._cluster_state[cluster.cluster_id] = cstate
-            for sub in subs:
-                self._state[sub.index].cluster_positions = np.searchsorted(
-                    cluster_lambdas, sub.lambda_ids
-                )
+            self._setup_cluster_apply(cluster, subs)
             if device.temporary is None:
                 device.allocate_temporary_arena()
             end = device.synchronize(clocks.max_time)
@@ -144,6 +125,10 @@ class HybridDualOperator(ExplicitGpuDualOperator):
                 )
                 clocks.advance(i, device.cost_model.submission_overhead_cpu)
                 breakdown["upload_F"] += op.duration
+                if self.batched:
+                    self.batch_engine.install_dense_block(
+                        cluster.cluster_id, sub.index, F
+                    )
             end = device.synchronize(clocks.max_time)
             cluster_times.append(end)
         return self._merge_cluster_times(cluster_times), breakdown

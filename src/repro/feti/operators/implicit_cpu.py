@@ -31,8 +31,9 @@ class ImplicitCpuDualOperator(DualOperatorBase):
         problem: FetiProblem,
         machine: Machine,
         library: CpuLibrary = CpuLibrary.MKL_PARDISO,
+        batched: bool = True,
     ) -> None:
-        super().__init__(problem, machine)
+        super().__init__(problem, machine, batched=batched)
         self.library = library
         self.approach = (
             DualOperatorApproach.IMPLICIT_MKL
@@ -74,10 +75,64 @@ class ImplicitCpuDualOperator(DualOperatorBase):
                 )
                 clocks.advance(i, cost)
                 breakdown["numeric_factorization"] += cost
+            if self.batched:
+                # The per-application costs only depend on fixed sparsity
+                # patterns, so they are precomputed here once per time step
+                # and replayed vectorized inside every PCPG iteration.
+                batch = self.batch_engine.cluster(cluster.cluster_id)
+                batch.cost_arrays["spmv"] = np.array(
+                    [2.0 * cluster.cpu.spmv(int(s.B.nnz)) for s in subs]
+                )
+                batch.cost_arrays["trsv"] = np.array(
+                    [
+                        2.0 * cluster.cpu.sparse_trsv(self._cpu_solvers[s.index].factor_nnz)
+                        for s in subs
+                    ]
+                )
             cluster_times.append(clocks.elapsed)
         return self._merge_cluster_times(cluster_times), breakdown
 
     def _apply_impl(self, lam: np.ndarray) -> tuple[np.ndarray, float, dict[str, float]]:
+        if self.batched:
+            return self._apply_batched(lam)
+        return self._apply_looped(lam)
+
+    def _apply_batched(
+        self, lam: np.ndarray
+    ) -> tuple[np.ndarray, float, dict[str, float]]:
+        """Vectorized scatter/gather and cost bookkeeping.
+
+        The triangular solves remain per-subdomain (their sparsity patterns
+        differ), but the dual-vector traffic and the simulated-clock updates
+        run as single vectorized operations per cluster.
+        """
+        q = np.zeros_like(lam)
+        breakdown: dict[str, float] = {"spmv": 0.0, "trsv": 0.0}
+        cluster_times = []
+        for cluster, subs in self.iter_clusters():
+            clocks = self.new_thread_clocks(cluster)
+            if subs:
+                batch = self.batch_engine.cluster(cluster.cluster_id)
+                p_concat = batch.dual_map.gather(lam)
+                q_concat = np.empty_like(p_concat)
+                for i, sub in enumerate(subs):
+                    solver = self._cpu_solvers[sub.index]
+                    local = batch.dual_map.slice_of(i)
+                    z = solver.solve(sub.B.T @ p_concat[local])
+                    q_concat[local] = sub.B @ z
+                batch.dual_map.scatter_add(q, q_concat)
+                spmv_costs = batch.cost_arrays["spmv"]
+                trsv_costs = batch.cost_arrays["trsv"]
+                clocks.advance_many(spmv_costs + trsv_costs)
+                breakdown["spmv"] += float(spmv_costs.sum())
+                breakdown["trsv"] += float(trsv_costs.sum())
+            cluster_times.append(clocks.elapsed)
+        return q, self._merge_cluster_times(cluster_times), breakdown
+
+    def _apply_looped(
+        self, lam: np.ndarray
+    ) -> tuple[np.ndarray, float, dict[str, float]]:
+        """Reference per-subdomain loop (kept for regression comparison)."""
         q = np.zeros_like(lam)
         breakdown: dict[str, float] = {"spmv": 0.0, "trsv": 0.0}
         cluster_times = []

@@ -13,14 +13,13 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.cluster.topology import ClusterResources, Machine
+from repro.cluster.topology import Machine
 from repro.feti.config import DualOperatorApproach
 from repro.feti.operators.base import DualOperatorBase
-from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.feti.problem import FetiProblem
 from repro.gpu import cusparse
-from repro.gpu.arrays import DeviceCsrMatrix, DeviceVector, MatrixOrder
+from repro.gpu.arrays import DeviceCsrMatrix, DeviceVector
 from repro.gpu.cusparse import SparseTrsmPlan
-from repro.gpu.stream import Stream
 from repro.sparse.costmodel import CpuLibrary
 from repro.sparse.solvers import CholmodLikeSolver
 
@@ -48,8 +47,9 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         problem: FetiProblem,
         machine: Machine,
         approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_GPU_MODERN,
+        batched: bool = True,
     ) -> None:
-        super().__init__(problem, machine)
+        super().__init__(problem, machine, batched=batched)
         if approach not in (
             DualOperatorApproach.IMPLICIT_GPU_LEGACY,
             DualOperatorApproach.IMPLICIT_GPU_MODERN,
@@ -167,6 +167,14 @@ class ImplicitGpuDualOperator(DualOperatorBase):
             device = cluster.device
             device.reset_timeline()
             clocks = self.new_thread_clocks(cluster)
+            # The sparse solves are inherently per-subdomain, but the dual
+            # scatter/gather runs through the flattened index maps: one take
+            # up front, one np.add.at at the end.
+            batch = None
+            if self.batched and subs:
+                batch = self.batch_engine.cluster(cluster.cluster_id)
+                p_concat = batch.dual_map.gather(lam)
+                q_concat = np.empty_like(p_concat)
             for i, sub in enumerate(subs):
                 stream = cluster.stream_for(i)
                 state = self._state[sub.index]
@@ -175,7 +183,10 @@ class ImplicitGpuDualOperator(DualOperatorBase):
                 assert state.work_vec is not None and state.plan is not None
 
                 now = clocks.now(i)
-                state.p_vec.array[...] = sub.local_dual(lam)
+                if batch is not None:
+                    state.p_vec.array[...] = p_concat[batch.dual_map.slice_of(i)]
+                else:
+                    state.p_vec.array[...] = sub.local_dual(lam)
                 op = stream.submit(
                     "h2d:p", device.cost_model.transfer(8 * sub.n_lambda), now
                 )
@@ -227,7 +238,12 @@ class ImplicitGpuDualOperator(DualOperatorBase):
                 )
                 breakdown["transfer"] += op.duration
                 clocks.advance(i, device.cost_model.submission_overhead_cpu)
-                sub.accumulate_dual(q, q_local)
+                if batch is not None:
+                    q_concat[batch.dual_map.slice_of(i)] = q_local
+                else:
+                    sub.accumulate_dual(q, q_local)
+            if batch is not None:
+                batch.dual_map.scatter_add(q, q_concat)
             end = device.synchronize(clocks.max_time)
             cluster_times.append(end)
         return q, self._merge_cluster_times(cluster_times), breakdown

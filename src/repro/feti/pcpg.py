@@ -101,6 +101,10 @@ def pcpg(
 
     converged = False
     k = 0
+    # Scratch buffer for the axpy updates: the dual vectors are the hot-path
+    # arrays of the whole solve, so the loop avoids allocating fresh
+    # temporaries for ``delta * p`` / ``delta * q`` every iteration.
+    scratch = np.empty_like(lam)
     for k in range(opts.max_iterations):
         q = apply_F(p)
         pq = float(p @ q)
@@ -109,8 +113,10 @@ def pcpg(
             # stop and report non-convergence rather than diverging silently.
             break
         delta = wy / pq
-        lam += delta * p
-        r -= delta * q
+        np.multiply(p, delta, out=scratch)
+        lam += scratch
+        np.multiply(q, delta, out=scratch)
+        r -= scratch
         w_next = apply_P(r)
         y_next = apply_P(apply_M(w_next))
         wy_next = float(w_next @ y_next)
@@ -124,7 +130,8 @@ def pcpg(
             k += 1
             break
         beta = wy_next / wy
-        p = y_next + beta * p
+        p *= beta
+        p += y_next
         w, y, wy = w_next, y_next, wy_next
     else:
         k = opts.max_iterations

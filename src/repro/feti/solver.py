@@ -12,7 +12,7 @@ computed from a real run.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -66,6 +66,10 @@ class FetiSolverOptions:
     assembly_config:
         Explicit-assembly parameters (Table I).  ``None`` selects the
         Table-II recommendation automatically for GPU approaches.
+    batched:
+        Drive the dual operator through the batched subdomain execution
+        engine (the default); ``False`` selects the per-subdomain reference
+        loops.
     """
 
     approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_MKL
@@ -73,6 +77,7 @@ class FetiSolverOptions:
     pcpg: PcpgOptions = field(default_factory=PcpgOptions)
     machine_config: MachineConfig | None = None
     assembly_config: AssemblyConfig | None = None
+    batched: bool = True
 
 
 @dataclass
@@ -122,6 +127,7 @@ class FetiSolver:
             problem,
             machine_config=self.options.machine_config,
             assembly_config=assembly,
+            batched=self.options.batched,
         )
         self.projector = Projector(problem.assemble_G())
         self.preconditioner = self._make_preconditioner()

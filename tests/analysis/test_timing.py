@@ -68,3 +68,27 @@ def test_ledger_totals_means_and_last():
     assert ledger.last("apply").simulated_seconds == 3.0
     assert ledger.last("preparation") is None
     assert ledger.mean("preparation") == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_threads=st.integers(min_value=1, max_value=8),
+    start_index=st.integers(min_value=0, max_value=7),
+    costs=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=0, max_size=40),
+)
+def test_advance_many_matches_per_item_loop(n_threads, start_index, costs):
+    """The vectorized advancement is equivalent to the per-item loop."""
+    looped = ThreadClocks(n_threads, origin=1.5)
+    for i, cost in enumerate(costs):
+        looped.advance(start_index + i, cost)
+    batched = ThreadClocks(n_threads, origin=1.5)
+    batched.advance_many(costs, start_index=start_index)
+    for t in range(n_threads):
+        assert batched.clocks[t] == pytest.approx(looped.clocks[t], rel=1e-12)
+    assert batched.elapsed == pytest.approx(looped.elapsed, rel=1e-12)
+
+
+def test_advance_many_rejects_negative_costs():
+    clocks = ThreadClocks(2)
+    with pytest.raises(ValueError):
+        clocks.advance_many([1.0, -0.5])

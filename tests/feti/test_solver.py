@@ -145,3 +145,65 @@ def test_solver_reuse_preprocessing_flag(heat_problem_2d, small_machine_config):
     before = solver.operator.ledger.count("preprocessing")
     solver.solve(reuse_preprocessing=True)
     assert solver.operator.ledger.count("preprocessing") == before
+
+
+def test_batched_and_looped_solvers_produce_identical_solutions(
+    heat_problem_2d, small_machine_config
+):
+    """The batched engine is an execution strategy, not a numerical change."""
+    solutions = {}
+    for batched in (False, True):
+        options = FetiSolverOptions(
+            approach=DualOperatorApproach.EXPLICIT_MKL,
+            machine_config=small_machine_config,
+            pcpg=PcpgOptions(tolerance=1e-11, max_iterations=400),
+            batched=batched,
+        )
+        solutions[batched] = FetiSolver(heat_problem_2d, options).solve()
+    assert solutions[True].converged and solutions[False].converged
+    np.testing.assert_allclose(
+        solutions[True].lam, solutions[False].lam, atol=1e-10
+    )
+    u_batched = np.concatenate(solutions[True].primal)
+    u_looped = np.concatenate(solutions[False].primal)
+    np.testing.assert_allclose(u_batched, u_looped, atol=1e-10)
+
+
+def test_multistep_driver_records_accumulate_across_runs(
+    heat_problem_2d, small_machine_config
+):
+    options = FetiSolverOptions(
+        approach=DualOperatorApproach.IMPLICIT_MKL,
+        machine_config=small_machine_config,
+    )
+    driver = MultiStepDriver(FetiSolver(heat_problem_2d, options))
+    first = driver.run(2)
+    assert [r.step for r in first] == [0, 1]
+    second = driver.run(1)
+    # run() returns the accumulated record list and keeps earlier records.
+    assert second is driver.records
+    assert len(driver.records) == 3
+    assert driver.total_dual_operator_seconds == pytest.approx(
+        sum(r.dual_operator_seconds for r in driver.records)
+    )
+    assert all(r.dual_operator_seconds > 0 for r in driver.records)
+
+
+def test_solver_reuse_preprocessing_reuses_ledger_phase(
+    heat_problem_2d, small_machine_config
+):
+    options = FetiSolverOptions(
+        approach=DualOperatorApproach.EXPLICIT_MKL,
+        machine_config=small_machine_config,
+    )
+    solver = FetiSolver(heat_problem_2d, options)
+    first = solver.solve()
+    ledger_phase = solver.operator.ledger.last("preprocessing")
+    reused = solver.solve(reuse_preprocessing=True)
+    # No new preprocessing phase ran and the returned timing is the cached one.
+    assert solver.operator.ledger.count("preprocessing") == 1
+    assert reused.preprocessing is ledger_phase
+    np.testing.assert_allclose(reused.lam, first.lam, atol=1e-10)
+    fresh = solver.solve(reuse_preprocessing=False)
+    assert solver.operator.ledger.count("preprocessing") == 2
+    np.testing.assert_allclose(fresh.lam, first.lam, atol=1e-10)
