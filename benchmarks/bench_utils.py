@@ -6,91 +6,65 @@ DESIGN.md); pytest-benchmark additionally records the wall-clock time of one
 representative execution so regressions in the Python implementation itself
 are visible.
 
-The measurement of Figure 5 (all nine approaches over the subdomain-size
-sweep) is the most expensive one and is shared by Figures 6 and 7, so it is
-cached per pytest session.
+Since PR 2 the scenarios themselves live in :mod:`repro.bench.registry` —
+the same definitions the ``repro-bench`` CLI enumerates, runs and gates in
+CI — and this module is a thin adapter that exposes them in the shape the
+figure tests consume.  Point measurements are cached inside
+:func:`repro.bench.runner.measure_point`, so the Figure-5 sweep (the most
+expensive measurement) is shared by Figures 6 and 7 for free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-
-import numpy as np
-
 from repro.analysis.amortization import ApproachTiming
-from repro.cluster.topology import MachineConfig
-from repro.decomposition import decompose_box
-from repro.fem.heat import HeatTransferProblem
+from repro.bench import registry
+from repro.bench.runner import RUNNER_MACHINE, measure_point
 from repro.feti.config import DualOperatorApproach
-from repro.feti.operators import make_dual_operator
 from repro.feti.problem import FetiProblem
 
 __all__ = [
     "BENCH_MACHINE",
+    "SIZES_SCENARIOS",
     "SUBDOMAIN_SIZES",
-    "ProblemSpec",
     "build_problem",
     "measure_approach",
     "measure_all_approaches",
     "approach_timings",
 ]
 
-#: Machine used by all benchmarks: 4 threads / 4 streams per cluster keeps the
-#: wall-clock cost of the Python numerics low while exercising the same
-#: concurrency structure as the paper's 16/16 configuration.
-BENCH_MACHINE = MachineConfig(threads_per_cluster=4, streams_per_cluster=4)
+#: Machine used by all benchmarks (shared with the ``repro-bench`` runner).
+BENCH_MACHINE = RUNNER_MACHINE
 
-#: Cells per subdomain edge for the size sweeps (per dimensionality).  The
-#: resulting DOFs per subdomain are what the figures use on their X axis.
+#: The registered subdomain-size-sweep scenario per dimensionality.
+SIZES_SCENARIOS: dict[int, str] = {2: "heat_2d_sizes", 3: "heat_3d_sizes"}
+
+#: Cells per subdomain edge for the size sweeps (per dimensionality), taken
+#: from the registered scenarios so the figures and the CLI agree.
 SUBDOMAIN_SIZES: dict[int, tuple[int, ...]] = {
-    2: (7, 15, 31),  # 64, 256, 1024 DOFs per subdomain
-    3: (3, 5, 8),  # 64, 216, 729 DOFs per subdomain
+    dim: tuple(registry.get(name).cells_grid) for dim, name in SIZES_SCENARIOS.items()
 }
 
 
-@dataclass(frozen=True)
-class ProblemSpec:
-    """A benchmark problem: dimensionality and subdomain size."""
-
-    dim: int
-    cells_per_subdomain: int
-
-    @property
-    def dofs_per_subdomain(self) -> int:
-        return (self.cells_per_subdomain + 1) ** self.dim
-
-
-@lru_cache(maxsize=None)
 def build_problem(dim: int, cells_per_subdomain: int) -> FetiProblem:
-    """A heat-transfer benchmark problem of the requested subdomain size.
-
-    2D problems use a 2×2 decomposition, 3D problems a 2×2×2 one, all in a
-    single cluster — enough subdomains per cluster for the per-cluster GPU
-    costs (transfers, scatter/gather) to amortize the way they do in the
-    paper's much larger runs, while keeping the pure-Python numerics cheap.
-    """
-    subdomains = (2, 2) if dim == 2 else (2, 2, 2)
-    decomposition = decompose_box(
-        dim, subdomains, cells_per_subdomain, order=1, n_clusters=1
-    )
-    return FetiProblem.from_physics(
-        HeatTransferProblem(), decomposition, dirichlet_faces=("xmin",)
-    )
+    """The (cached) heat-transfer benchmark problem of one sweep point."""
+    return registry.get(SIZES_SCENARIOS[dim]).build_problem(cells=cells_per_subdomain)
 
 
-@lru_cache(maxsize=None)
 def measure_approach(
     dim: int, cells_per_subdomain: int, approach: DualOperatorApproach
 ) -> tuple[float, float]:
     """Simulated (preprocessing, application) seconds per subdomain."""
-    problem = build_problem(dim, cells_per_subdomain)
-    operator = make_dual_operator(approach, problem, machine_config=BENCH_MACHINE)
-    operator.prepare()
-    operator.preprocess()
-    operator.apply(np.zeros(problem.n_lambda))
-    n = problem.n_subdomains
-    return operator.preprocessing_time / n, operator.application_time / n
+    scenario = registry.get(SIZES_SCENARIOS[dim])
+    m = measure_point(
+        scenario.spec_with(cells=cells_per_subdomain),
+        approach,
+        batched=True,
+        n_applies=scenario.n_applies,
+    )
+    return (
+        m.sim_preprocessing_seconds / m.n_subdomains,
+        m.sim_apply_seconds / m.n_subdomains,
+    )
 
 
 def measure_all_approaches(

@@ -3,31 +3,47 @@
 Heat transfer 2D and 3D, subdomain-size sweep: per-subdomain simulated time
 of (a/c) the FETI preprocessing and (b/d) one dual-operator application for
 every approach of Table III.
+
+The sweep itself is the registered ``heat_{2,3}d_sizes`` scenario — the same
+definition ``repro-bench run heat_2d_sizes`` executes — and the series are
+extracted from the scenario's :class:`~repro.analysis.sweep.SweepResult`.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from bench_utils import SUBDOMAIN_SIZES, build_problem, measure_all_approaches
+from bench_utils import SIZES_SCENARIOS, measure_all_approaches
 from repro.analysis.reporting import format_series
+from repro.bench import registry
+from repro.bench.runner import run_scenario
 from repro.feti.config import DualOperatorApproach
+
+
+def per_subdomain_series(sweep, approach, metric):
+    """``(dofs per subdomain, per-subdomain ms)`` points of one approach."""
+    return sorted(
+        (
+            float(r["dofs_per_subdomain"]),
+            r[metric] / r["n_subdomains"] * 1e3,
+        )
+        for r in sweep.filter(approach=approach)
+    )
 
 
 @pytest.mark.parametrize("dim", [2, 3])
 def test_fig5_preprocessing_and_application(benchmark, dim, capsys):
-    preprocessing: dict[str, list[tuple[float, float]]] = {
-        a.value: [] for a in DualOperatorApproach
+    scenario = registry.get(SIZES_SCENARIOS[dim])
+    sweep = run_scenario(scenario).sweep
+
+    preprocessing = {
+        a.value: per_subdomain_series(sweep, a, "sim_preprocessing_seconds")
+        for a in DualOperatorApproach
     }
-    application: dict[str, list[tuple[float, float]]] = {
-        a.value: [] for a in DualOperatorApproach
+    application = {
+        a.value: per_subdomain_series(sweep, a, "sim_apply_seconds")
+        for a in DualOperatorApproach
     }
-    for cells in SUBDOMAIN_SIZES[dim]:
-        problem = build_problem(dim, cells)
-        dofs = float(problem.subdomains[0].ndofs)
-        for approach, (pre, app) in measure_all_approaches(dim, cells).items():
-            preprocessing[approach.value].append((dofs, pre * 1e3))
-            application[approach.value].append((dofs, app * 1e3))
 
     print()
     print(
@@ -47,8 +63,15 @@ def test_fig5_preprocessing_and_application(benchmark, dim, capsys):
         )
     )
 
-    largest = SUBDOMAIN_SIZES[dim][-1]
-    timings = measure_all_approaches(dim, largest)
+    largest = max(scenario.cells_grid)
+    timings = {
+        r["approach"]: (
+            r["sim_preprocessing_seconds"] / r["n_subdomains"],
+            r["sim_apply_seconds"] / r["n_subdomains"],
+        )
+        for r in sweep.filter(cells=largest)
+    }
+    assert len(timings) == 9
 
     def pre(a):
         return timings[a][0]
@@ -90,7 +113,7 @@ def test_fig5_preprocessing_and_application(benchmark, dim, capsys):
     )
 
     benchmark.pedantic(
-        lambda: measure_all_approaches(dim, SUBDOMAIN_SIZES[dim][0]),
+        lambda: measure_all_approaches(dim, min(scenario.cells_grid)),
         rounds=1,
         iterations=1,
     )

@@ -4,6 +4,10 @@ Same sweep as Figure 6, but normalized by the traditional implicit CPU
 approach: the curves show how much the dual-operator part of the FETI solver
 gains from choosing the best (typically explicit / GPU) approach as the
 number of PCPG iterations grows.
+
+The measurements come from the registered ``heat_{2,3}d_sizes`` scenario
+(through the registry-backed ``bench_utils`` adapter), shared (point-cached)
+with the Figure-5/6 benchmarks and the CLI.
 """
 
 from __future__ import annotations
@@ -11,25 +15,26 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from bench_utils import SUBDOMAIN_SIZES, approach_timings, build_problem
+from bench_utils import SIZES_SCENARIOS, approach_timings, build_problem
 from repro.analysis.amortization import (
-    ApproachTiming,
     amortization_point,
     best_approach_curve,
 )
 from repro.analysis.reporting import format_series
+from repro.bench import registry
 
 ITERATIONS = np.array([1, 3, 10, 30, 100, 300, 1000, 3000, 10000])
 
 
 @pytest.mark.parametrize("dim", [2, 3])
 def test_fig7_speedup_of_best_approach(benchmark, dim, capsys):
+    scenario = registry.get(SIZES_SCENARIOS[dim])
+
     series = {}
     final_speedups = {}
     amortization = {}
-    for cells in SUBDOMAIN_SIZES[dim]:
-        problem = build_problem(dim, cells)
-        dofs = problem.subdomains[0].ndofs
+    for cells in scenario.cells_grid:
+        dofs = build_problem(dim, cells).subdomains[0].ndofs
         timings = approach_timings(dim, cells)
         curve = best_approach_curve(timings, ITERATIONS, baseline="impl mkl")
         series[f"{dofs} DOFs"] = [
@@ -66,7 +71,7 @@ def test_fig7_speedup_of_best_approach(benchmark, dim, capsys):
 
     benchmark.pedantic(
         lambda: best_approach_curve(
-            approach_timings(dim, SUBDOMAIN_SIZES[dim][0]), ITERATIONS
+            approach_timings(dim, min(scenario.cells_grid)), ITERATIONS
         ).speedups,
         rounds=1,
         iterations=1,

@@ -1,16 +1,19 @@
 """Table III — the nine dual-operator approaches.
 
-Regenerates the approach inventory and smoke-runs every approach on a tiny
-problem to confirm each one is actually implemented (not just listed).
+Regenerates the approach inventory and runs the registered
+``heat_2d_approaches`` scenario — the same workload the CI regression gate
+executes — which smoke-runs every approach and verifies (as a runner
+invariant) that they all compute the same operator.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from bench_utils import BENCH_MACHINE, build_problem
+from bench_utils import BENCH_MACHINE
 from repro.analysis.reporting import format_table
+from repro.bench import registry
+from repro.bench.runner import SCHEMA_VERSION, run_scenario
 from repro.feti.config import DualOperatorApproach
 from repro.feti.operators import make_dual_operator
 
@@ -22,18 +25,18 @@ def test_table3_approaches(benchmark, capsys):
     print(table)
     assert len(rows) == 9
 
-    problem = build_problem(2, 3)
-    lam = np.zeros(problem.n_lambda)
-    results = {}
-    for approach in DualOperatorApproach:
-        operator = make_dual_operator(approach, problem, machine_config=BENCH_MACHINE)
-        operator.preprocess()
-        results[approach] = operator.apply(lam.copy() + 1.0)
+    # The registered scenario covers all nine approaches on one workload and
+    # its invariant check asserts that every approach implements the same
+    # operator (InvariantViolation otherwise).
+    scenario = registry.get("heat_2d_approaches")
+    assert set(scenario.approaches) == set(DualOperatorApproach)
+    result = run_scenario(scenario)
+    assert result.record["schema_version"] == SCHEMA_VERSION
+    assert len(result.record["points"]) == 9
+    assert all(p["simulated"]["apply_seconds"] > 0.0 for p in result.record["points"])
 
-    # every approach implements the same operator
-    reference = results[DualOperatorApproach.IMPLICIT_MKL]
-    for approach, q in results.items():
-        assert np.allclose(q, reference, atol=1e-8), approach
+    problem = scenario.build_problem()
+    lam = np.ones(problem.n_lambda)
 
     def one_apply():
         operator = make_dual_operator(

@@ -1,0 +1,199 @@
+"""``repro-bench`` — list, run and regression-gate benchmark scenarios.
+
+Subcommands
+-----------
+``repro-bench list``
+    Enumerate the registered scenarios (name, tags, grid size, description).
+``repro-bench run``
+    Execute scenarios and write ``BENCH_<scenario>.json`` records into
+    ``--output-dir`` (default ``bench-results/``, which is gitignored; point
+    it at the repository root to regenerate committed baselines).
+``repro-bench compare``
+    Diff fresh records against committed baselines.  Exit code ``0`` means
+    within tolerance, ``1`` means a regression or scenario mismatch, ``2``
+    means a record was missing (setup error).
+
+Scenario selection is shared by ``run`` and ``compare``: positional names,
+``--tag TAG``, or ``--quick`` (shorthand for ``--tag quick``, the CI gate
+set).  ``compare`` with no selection diffs every record found in the results
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.bench import registry
+from repro.bench.baseline import Tolerances, compare_directories
+from repro.bench.runner import InvariantViolation, run_scenario, write_record
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark scenario registry: list, run, and compare against baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate registered scenarios")
+    _add_selection(p_list)
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_run = sub.add_parser("run", help="run scenarios and write BENCH_*.json records")
+    _add_selection(p_run)
+    p_run.add_argument(
+        "-o",
+        "--output-dir",
+        default="bench-results",
+        help="directory for the fresh records (default: %(default)s)",
+    )
+    p_run.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the scenario invariant checks (shape + operator consistency)",
+    )
+
+    p_cmp = sub.add_parser("compare", help="diff fresh records against baselines")
+    _add_selection(p_cmp)
+    p_cmp.add_argument(
+        "--results",
+        default="bench-results",
+        help="directory holding the fresh records (default: %(default)s)",
+    )
+    p_cmp.add_argument(
+        "--baselines",
+        default=".",
+        help="directory holding the committed baselines (default: repository root)",
+    )
+    p_cmp.add_argument(
+        "--rtol",
+        type=float,
+        default=Tolerances.simulated_rtol,
+        help="relative tolerance on simulated metrics (default: %(default)s)",
+    )
+    p_cmp.add_argument(
+        "--wall-rtol",
+        type=float,
+        default=None,
+        help="relative tolerance on wall-clock metrics (default: not gated)",
+    )
+    return parser
+
+
+def _add_selection(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scenarios", nargs="*", help="scenario names (default: see --tag)")
+    parser.add_argument("--tag", help="select every scenario carrying this tag")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="select the quick scenarios (the CI regression-gate set)",
+    )
+
+
+def _select(args: argparse.Namespace, default_all: bool) -> list[str] | None:
+    """Resolve the shared selection options to scenario names.
+
+    Returns ``None`` when nothing was selected and ``default_all`` is False
+    (``compare`` then falls back to "whatever the results directory holds").
+    """
+    if args.scenarios:
+        for name in args.scenarios:
+            registry.get(name)  # raises KeyError with the known names
+        return list(args.scenarios)
+    tag = "quick" if args.quick else args.tag
+    if tag is not None:
+        names = registry.names(tag)
+        if not names:
+            raise KeyError(f"no scenario carries the tag {tag!r} (tags: {registry.all_tags()})")
+        return names
+    return registry.names() if default_all else None
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    names = _select(args, default_all=True)
+    selected = [registry.get(n) for n in names]
+    if args.json:
+        payload = [
+            {
+                "name": s.name,
+                "description": s.description,
+                "physics": s.base.physics,
+                "dim": s.base.dim,
+                "tags": sorted(s.tags),
+                "n_points": s.n_points(),
+                "approaches": [a.value for a in s.approaches],
+            }
+            for s in selected
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    from repro.analysis.reporting import format_table
+
+    rows = [
+        [
+            s.name,
+            s.base.physics,
+            f"{s.base.dim}D",
+            s.n_points(),
+            ",".join(sorted(s.tags)),
+            s.description,
+        ]
+        for s in selected
+    ]
+    print(
+        format_table(
+            ["scenario", "physics", "dim", "points", "tags", "description"],
+            rows,
+            title=f"{len(rows)} registered scenario(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = _select(args, default_all=True)
+    for name in names:
+        scenario = registry.get(name)
+        print(f"running {name} ({scenario.n_points()} grid points)...", flush=True)
+        try:
+            result = run_scenario(scenario, check_invariants=not args.no_invariants)
+        except InvariantViolation as exc:
+            print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+            return 2
+        path = write_record(result.record, args.output_dir)
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = _select(args, default_all=False)
+    tolerances = Tolerances(simulated_rtol=args.rtol, wall_rtol=args.wall_rtol)
+    report = compare_directories(
+        args.results, args.baselines, scenario_names=names, tolerances=tolerances
+    )
+    print(report.summary())
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-bench`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_compare(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

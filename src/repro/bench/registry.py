@@ -1,0 +1,350 @@
+"""The scenario registry: named, parameterized benchmark workloads.
+
+Every paper figure/table and every performance gate is a *scenario*: a
+physics (heat transfer or linear elasticity), a dimensionality, a subdomain
+grid, and a sweep over dual-operator approaches and/or problem sizes.  The
+registry makes the workloads first-class — enumerable (``repro-bench list``),
+runnable (``repro-bench run``), and regression-gated against committed
+baselines (``repro-bench compare``) — and gives the pytest benchmark suite
+and the CLI one shared source of scenario truth.
+
+A scenario's sweep grid always has four axes (``subdomains``, ``cells``,
+``approach``, ``batched``); axes not explicitly swept are pinned to the base
+workload values, so a scenario record is a cartesian product executed with
+:func:`repro.analysis.sweep.sweep_configurations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Any
+
+from repro.fem.elasticity import LinearElasticityProblem
+from repro.fem.heat import HeatTransferProblem
+from repro.feti.config import DualOperatorApproach
+from repro.feti.problem import FetiProblem
+
+__all__ = [
+    "WorkloadSpec",
+    "Scenario",
+    "build_feti_problem",
+    "register",
+    "get",
+    "names",
+    "scenarios",
+    "all_tags",
+]
+
+#: Physics identifiers accepted by :class:`WorkloadSpec`.
+PHYSICS = ("heat", "elasticity")
+
+_ALL_APPROACHES = tuple(DualOperatorApproach)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One concrete FETI workload (hashable: problems are cached per spec)."""
+
+    physics: str
+    dim: int
+    subdomains: tuple[int, ...]
+    cells: int
+    order: int = 1
+    n_clusters: int = 1
+    dirichlet_faces: tuple[str, ...] = ("xmin",)
+
+    def __post_init__(self) -> None:
+        if self.physics not in PHYSICS:
+            raise ValueError(f"unknown physics {self.physics!r}; expected one of {PHYSICS}")
+        if len(self.subdomains) != self.dim:
+            raise ValueError(
+                f"subdomain grid {self.subdomains} does not match dim={self.dim}"
+            )
+
+    @property
+    def n_subdomains(self) -> int:
+        n = 1
+        for s in self.subdomains:
+            n *= s
+        return n
+
+
+def _make_physics(name: str) -> Any:
+    if name == "heat":
+        return HeatTransferProblem(conductivity=1.0, source=1.0)
+    return LinearElasticityProblem(young=1.0, poisson=0.3)
+
+
+@lru_cache(maxsize=None)
+def build_feti_problem(spec: WorkloadSpec) -> FetiProblem:
+    """Assemble (and cache) the torn FETI problem of one workload spec."""
+    from repro.decomposition import decompose_box
+
+    decomposition = decompose_box(
+        spec.dim,
+        spec.subdomains,
+        spec.cells,
+        order=spec.order,
+        n_clusters=spec.n_clusters,
+    )
+    return FetiProblem.from_physics(
+        _make_physics(spec.physics),
+        decomposition,
+        dirichlet_faces=spec.dirichlet_faces,
+    )
+
+
+@dataclass
+class Scenario:
+    """A named benchmark workload with its sweep grid and invariants.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the stem of the ``BENCH_<name>.json`` record.
+    description:
+        One-line human description shown by ``repro-bench list``.
+    base:
+        The base workload; grid axes not swept are pinned to its values.
+    approaches:
+        Dual-operator approaches to sweep (the ``approach`` axis).
+    batched:
+        Values of the batched-engine toggle to sweep (the ``batched`` axis);
+        ``(True, False)`` benchmarks the engine against the reference loop.
+    subdomain_grid:
+        Optional sweep axis over subdomain grids (``base.subdomains`` if
+        unset).
+    cells_grid:
+        Optional sweep axis over cells-per-subdomain (``base.cells`` if
+        unset).
+    n_applies:
+        Dual-operator applications measured per grid point.
+    tags:
+        Free-form labels; ``quick`` marks the CI regression-gate set.
+    expected:
+        Invariants of the *base* problem checked on every run (keys:
+        ``n_subdomains``, ``n_lambda``, ``dofs_per_subdomain``,
+        ``kernel_dim``).
+    """
+
+    name: str
+    description: str
+    base: WorkloadSpec
+    approaches: tuple[DualOperatorApproach, ...] = (DualOperatorApproach.EXPLICIT_MKL,)
+    batched: tuple[bool, ...] = (True,)
+    subdomain_grid: tuple[tuple[int, ...], ...] | None = None
+    cells_grid: tuple[int, ...] | None = None
+    n_applies: int = 3
+    tags: frozenset[str] = frozenset()
+    expected: dict[str, int] = field(default_factory=dict)
+
+    def grid(self) -> dict[str, list[Any]]:
+        """The cartesian sweep grid of the scenario (four fixed axes)."""
+        return {
+            "subdomains": list(self.subdomain_grid or (self.base.subdomains,)),
+            "cells": list(self.cells_grid or (self.base.cells,)),
+            "approach": list(self.approaches),
+            "batched": list(self.batched),
+        }
+
+    def n_points(self) -> int:
+        """Number of grid points the scenario executes."""
+        n = 1
+        for values in self.grid().values():
+            n *= len(values)
+        return n
+
+    def spec_with(
+        self, subdomains: tuple[int, ...] | None = None, cells: int | None = None
+    ) -> WorkloadSpec:
+        """The workload spec of one grid point."""
+        spec = self.base
+        if subdomains is not None:
+            spec = replace(spec, subdomains=tuple(subdomains))
+        if cells is not None:
+            spec = replace(spec, cells=int(cells))
+        return spec
+
+    def build_problem(
+        self, subdomains: tuple[int, ...] | None = None, cells: int | None = None
+    ) -> FetiProblem:
+        """Build (cached) the FETI problem of one grid point."""
+        return build_feti_problem(self.spec_with(subdomains, cells))
+
+
+# --------------------------------------------------------------------- #
+# Registry                                                               #
+# --------------------------------------------------------------------- #
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def names(tag: str | None = None) -> list[str]:
+    """All registered scenario names, optionally restricted to one tag."""
+    return [s.name for s in scenarios(tag)]
+
+
+def scenarios(tag: str | None = None) -> list[Scenario]:
+    """All registered scenarios (registration order), optionally by tag."""
+    return [s for s in _REGISTRY.values() if tag is None or tag in s.tags]
+
+
+def all_tags() -> list[str]:
+    """Every tag used by at least one registered scenario."""
+    tags: set[str] = set()
+    for scenario in _REGISTRY.values():
+        tags |= scenario.tags
+    return sorted(tags)
+
+
+# --------------------------------------------------------------------- #
+# The default scenario set                                               #
+# --------------------------------------------------------------------- #
+def _register_defaults() -> None:
+    register(
+        Scenario(
+            name="smoke_heat_2d",
+            description="Smallest end-to-end workload: heat 2D, 2 subdomains, CPU approaches",
+            base=WorkloadSpec("heat", 2, (2, 1), 2),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.EXPLICIT_MKL,
+            ),
+            n_applies=2,
+            tags=frozenset({"quick", "smoke"}),
+            expected={"n_subdomains": 2, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="heat_2d_approaches",
+            description="Table III quick gate: all nine approaches, heat 2D, 2x2 subdomains",
+            base=WorkloadSpec("heat", 2, (2, 2), 4),
+            approaches=_ALL_APPROACHES,
+            tags=frozenset({"quick", "table3"}),
+            expected={"n_subdomains": 4, "dofs_per_subdomain": 25, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="heat_3d_approaches",
+            description="All nine approaches, heat 3D, 2x2x1 subdomains",
+            base=WorkloadSpec("heat", 3, (2, 2, 1), 2, dirichlet_faces=("zmin",)),
+            approaches=_ALL_APPROACHES,
+            tags=frozenset({"quick", "table3"}),
+            expected={"n_subdomains": 4, "dofs_per_subdomain": 27, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="elasticity_2d_approaches",
+            description="Linear elasticity 2D: implicit/explicit CPU, GPU and hybrid",
+            base=WorkloadSpec("elasticity", 2, (2, 1), 3),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.IMPLICIT_CHOLMOD,
+                DualOperatorApproach.EXPLICIT_MKL,
+                DualOperatorApproach.EXPLICIT_GPU_MODERN,
+                DualOperatorApproach.EXPLICIT_HYBRID,
+            ),
+            tags=frozenset({"quick"}),
+            expected={"n_subdomains": 2, "kernel_dim": 3},
+        )
+    )
+    register(
+        Scenario(
+            name="elasticity_3d_implicit",
+            description="Linear elasticity 3D: implicit CPU/GPU vs explicit CPU",
+            base=WorkloadSpec("elasticity", 3, (2, 1, 1), 2),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.IMPLICIT_GPU_MODERN,
+                DualOperatorApproach.EXPLICIT_MKL,
+            ),
+            tags=frozenset({"quick"}),
+            expected={"n_subdomains": 2, "kernel_dim": 6},
+        )
+    )
+    register(
+        Scenario(
+            name="elasticity_2d_quadratic",
+            description="Quadratic elements: elasticity 2D, order 2, CPU approaches",
+            base=WorkloadSpec("elasticity", 2, (2, 1), 2, order=2),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.EXPLICIT_MKL,
+            ),
+            tags=frozenset({"quick"}),
+            expected={"n_subdomains": 2, "kernel_dim": 3},
+        )
+    )
+    register(
+        Scenario(
+            name="heat_2d_scaling",
+            description="Subdomain-count scaling: heat 2D, 2x2 vs 4x4 subdomains",
+            base=WorkloadSpec("heat", 2, (2, 2), 4),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.EXPLICIT_GPU_MODERN,
+            ),
+            subdomain_grid=((2, 2), (4, 4)),
+            tags=frozenset({"quick", "scaling"}),
+            expected={"n_subdomains": 4, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="batched_apply",
+            description="Batched subdomain engine vs per-subdomain loop, 64 subdomains",
+            base=WorkloadSpec("heat", 2, (8, 8), 4),
+            approaches=(DualOperatorApproach.EXPLICIT_MKL,),
+            batched=(True, False),
+            n_applies=10,
+            tags=frozenset({"quick", "wall"}),
+            expected={"n_subdomains": 64, "dofs_per_subdomain": 25, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="heat_2d_sizes",
+            description="Figure 5/6/7 sweep: heat 2D, subdomain-size grid, all approaches",
+            base=WorkloadSpec("heat", 2, (2, 2), 7),
+            approaches=_ALL_APPROACHES,
+            cells_grid=(7, 15, 31),
+            n_applies=1,
+            tags=frozenset({"paper", "fig5"}),
+            expected={"n_subdomains": 4, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="heat_3d_sizes",
+            description="Figure 5/6/7 sweep: heat 3D, subdomain-size grid, all approaches",
+            base=WorkloadSpec("heat", 3, (2, 2, 2), 3),
+            approaches=_ALL_APPROACHES,
+            cells_grid=(3, 5, 8),
+            n_applies=1,
+            tags=frozenset({"paper", "fig5"}),
+            expected={"n_subdomains": 8, "kernel_dim": 1},
+        )
+    )
+
+
+_register_defaults()

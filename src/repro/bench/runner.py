@@ -1,0 +1,342 @@
+"""Scenario runner: execute a registered workload and emit a benchmark record.
+
+The runner executes a scenario's cartesian grid with
+:func:`repro.analysis.sweep.sweep_configurations`, measures each grid point
+once (simulated preprocessing/application time from the operator's
+:class:`~repro.analysis.timing.TimingLedger`, wall-clock time around the real
+numerics), verifies the scenario's invariants (declared problem shape, and
+that every approach of a grid point computes the same operator), and emits a
+schema-versioned, environment-stamped ``BENCH_<scenario>.json`` record that
+the baseline comparator can diff across runs and machines.
+
+Point measurements are cached per (workload, approach, batched, n_applies),
+so scenarios that share grid points — e.g. the Figure-5 sweep feeding
+Figures 6 and 7 — never re-measure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.sweep import SweepResult, sweep_configurations
+from repro.bench.registry import Scenario, WorkloadSpec, build_feti_problem
+from repro.cluster.topology import MachineConfig
+from repro.feti.config import DualOperatorApproach
+from repro.feti.operators import make_dual_operator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RUNNER_MACHINE",
+    "InvariantViolation",
+    "PointMeasurement",
+    "ScenarioResult",
+    "measure_point",
+    "run_scenario",
+    "point_key",
+    "record_filename",
+    "write_record",
+    "load_record",
+    "environment_stamp",
+]
+
+#: Version of the ``BENCH_*.json`` record layout.  Bump on breaking changes;
+#: the comparator refuses to diff records of different schema versions.
+SCHEMA_VERSION = 2
+
+#: Machine used by every scenario: 4 threads / 4 streams per cluster keeps
+#: the wall-clock cost of the Python numerics low while exercising the same
+#: concurrency structure as the paper's 16/16 configuration.
+RUNNER_MACHINE = MachineConfig(threads_per_cluster=4, streams_per_cluster=4)
+
+#: Seed of the deterministic dual vector applied at every grid point.
+_APPLY_SEED = 20250729
+
+
+class InvariantViolation(AssertionError):
+    """A scenario invariant failed (shape mismatch or operator divergence)."""
+
+
+@dataclass
+class PointMeasurement:
+    """Measurements of one grid point (one operator on one workload)."""
+
+    n_subdomains: int
+    n_lambda: int
+    dofs_per_subdomain: int
+    kernel_dim: int
+    sim_preparation_seconds: float
+    sim_preprocessing_seconds: float
+    sim_apply_seconds: float
+    wall_preprocessing_seconds: float
+    wall_apply_seconds: float
+    q: np.ndarray
+
+
+@lru_cache(maxsize=None)
+def measure_point(
+    spec: WorkloadSpec,
+    approach: DualOperatorApproach,
+    batched: bool = True,
+    n_applies: int = 3,
+) -> PointMeasurement:
+    """Measure one (workload, approach, batched) point (cached).
+
+    Simulated times come from the operator's timing ledger; wall-clock times
+    wrap the real execution of prepare+preprocess and of the ``n_applies``
+    application loop (mean per apply).
+    """
+    problem = build_feti_problem(spec)
+    operator = make_dual_operator(
+        approach, problem, machine_config=RUNNER_MACHINE, batched=batched
+    )
+    wall0 = time.perf_counter()
+    operator.prepare()
+    operator.preprocess()
+    wall_preprocessing = time.perf_counter() - wall0
+
+    rng = np.random.default_rng(_APPLY_SEED)
+    x = rng.standard_normal(problem.n_lambda)
+    wall0 = time.perf_counter()
+    for _ in range(max(1, n_applies)):
+        q = operator.apply(x)
+    wall_apply = (time.perf_counter() - wall0) / max(1, n_applies)
+
+    return PointMeasurement(
+        n_subdomains=problem.n_subdomains,
+        n_lambda=problem.n_lambda,
+        dofs_per_subdomain=problem.subdomains[0].ndofs,
+        kernel_dim=problem.subdomains[0].kernel_dim,
+        sim_preparation_seconds=operator.preparation_time,
+        sim_preprocessing_seconds=operator.preprocessing_time,
+        sim_apply_seconds=operator.application_time,
+        wall_preprocessing_seconds=wall_preprocessing,
+        wall_apply_seconds=wall_apply,
+        q=q,
+    )
+
+
+def point_key(
+    subdomains: tuple[int, ...], cells: int, approach: DualOperatorApproach, batched: bool
+) -> str:
+    """Stable human-readable identity of a grid point (used for pairing)."""
+    grid = "x".join(str(s) for s in subdomains)
+    return f"{grid}/c{cells}/{approach.value}/{'batched' if batched else 'looped'}"
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    sweep: SweepResult
+    record: dict[str, Any]
+
+
+def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioResult:
+    """Execute a scenario's full grid and build its benchmark record."""
+    qs: dict[tuple[Any, ...], np.ndarray] = {}
+
+    def measure(
+        subdomains: tuple[int, ...],
+        cells: int,
+        approach: DualOperatorApproach,
+        batched: bool,
+    ) -> dict[str, Any]:
+        spec = scenario.spec_with(subdomains, cells)
+        m = measure_point(spec, approach, batched, scenario.n_applies)
+        qs[(subdomains, cells, approach, batched)] = m.q
+        return {
+            "key": point_key(subdomains, cells, approach, batched),
+            "n_subdomains": m.n_subdomains,
+            "n_lambda": m.n_lambda,
+            "dofs_per_subdomain": m.dofs_per_subdomain,
+            "kernel_dim": m.kernel_dim,
+            "sim_preparation_seconds": m.sim_preparation_seconds,
+            "sim_preprocessing_seconds": m.sim_preprocessing_seconds,
+            "sim_apply_seconds": m.sim_apply_seconds,
+            "wall_preprocessing_seconds": m.wall_preprocessing_seconds,
+            "wall_apply_seconds": m.wall_apply_seconds,
+        }
+
+    sweep = sweep_configurations(scenario.grid(), measure)
+    if check_invariants:
+        _check_operator_consistency(scenario, qs)
+        _check_expected(scenario)
+    record = _build_record(scenario, sweep)
+    return ScenarioResult(scenario=scenario, sweep=sweep, record=record)
+
+
+def _check_operator_consistency(
+    scenario: Scenario, qs: dict[tuple[Any, ...], np.ndarray]
+) -> None:
+    """All approaches of one workload must compute the same dual operator."""
+    reference: dict[tuple[Any, ...], tuple[Any, ...]] = {}
+    for (subdomains, cells, approach, batched), q in qs.items():
+        workload = (subdomains, cells)
+        if workload not in reference:
+            reference[workload] = (approach, batched)
+            continue
+        ref_point = reference[workload]
+        ref_q = qs[(*workload, *ref_point)]
+        if not np.allclose(q, ref_q, rtol=1e-7, atol=1e-8):
+            raise InvariantViolation(
+                f"scenario {scenario.name!r}: "
+                f"{point_key(subdomains, cells, approach, batched)} diverges from "
+                f"{point_key(subdomains, cells, *ref_point)} "
+                f"(max |Δ| = {np.max(np.abs(q - ref_q)):.3e})"
+            )
+
+
+def _check_expected(scenario: Scenario) -> None:
+    """Check the scenario's declared invariants against the base problem."""
+    if not scenario.expected:
+        return
+    problem = scenario.build_problem()
+    actual = {
+        "n_subdomains": problem.n_subdomains,
+        "n_lambda": problem.n_lambda,
+        "dofs_per_subdomain": problem.subdomains[0].ndofs,
+        "kernel_dim": problem.subdomains[0].kernel_dim,
+    }
+    for key, expected in scenario.expected.items():
+        if key not in actual:
+            raise InvariantViolation(
+                f"scenario {scenario.name!r}: unknown invariant {key!r} "
+                f"(known: {sorted(actual)})"
+            )
+        if actual[key] != expected:
+            raise InvariantViolation(
+                f"scenario {scenario.name!r}: invariant {key}={actual[key]} "
+                f"does not match the declared {expected}"
+            )
+
+
+def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
+    points = []
+    for r in sweep.records:
+        points.append(
+            {
+                "key": r["key"],
+                "subdomains": list(r["subdomains"]),
+                "cells": int(r["cells"]),
+                "approach": r["approach"].value,
+                "batched": bool(r["batched"]),
+                "invariants": {
+                    "n_subdomains": r["n_subdomains"],
+                    "n_lambda": r["n_lambda"],
+                    "dofs_per_subdomain": r["dofs_per_subdomain"],
+                    "kernel_dim": r["kernel_dim"],
+                },
+                "simulated": {
+                    "preparation_seconds": r["sim_preparation_seconds"],
+                    "preprocessing_seconds": r["sim_preprocessing_seconds"],
+                    "apply_seconds": r["sim_apply_seconds"],
+                },
+                "wall": {
+                    "preprocessing_seconds": r["wall_preprocessing_seconds"],
+                    "apply_seconds": r["wall_apply_seconds"],
+                },
+            }
+        )
+    record: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": scenario.name,
+        "scenario": {
+            "description": scenario.description,
+            "physics": scenario.base.physics,
+            "dim": scenario.base.dim,
+            "order": scenario.base.order,
+            "n_clusters": scenario.base.n_clusters,
+            "tags": sorted(scenario.tags),
+            "n_applies": scenario.n_applies,
+        },
+        "environment": environment_stamp(),
+        "points": points,
+    }
+    derived = _derived_metrics(sweep)
+    if derived:
+        record["derived"] = derived
+    return record
+
+
+def _derived_metrics(sweep: SweepResult) -> dict[str, float]:
+    """Wall-clock speedups of the batched engine over the reference loop."""
+    derived: dict[str, float] = {}
+    by_variant: dict[tuple[Any, ...], dict[bool, float]] = {}
+    for r in sweep.records:
+        variant = (r["subdomains"], r["cells"], r["approach"])
+        by_variant.setdefault(variant, {})[r["batched"]] = r["wall_apply_seconds"]
+    for (subdomains, cells, approach), walls in by_variant.items():
+        if True in walls and False in walls and walls[True] > 0.0:
+            grid = "x".join(str(s) for s in subdomains)
+            key = f"wall_apply_speedup[{grid}/c{cells}/{approach.value}]"
+            derived[key] = walls[False] / walls[True]
+    return derived
+
+
+# --------------------------------------------------------------------- #
+# Record I/O                                                             #
+# --------------------------------------------------------------------- #
+def environment_stamp() -> dict[str, Any]:
+    """Provenance of a record: code, interpreter and machine identity."""
+    import scipy
+
+    return {
+        "git_sha": _git_sha(),
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def record_filename(name: str) -> str:
+    """``BENCH_<scenario>.json`` with a filesystem-safe scenario stem."""
+    return f"BENCH_{re.sub(r'[^A-Za-z0-9_.-]+', '_', name)}.json"
+
+
+def write_record(record: dict[str, Any], output_dir: str | Path) -> Path:
+    """Serialize a record into ``output_dir`` (created if missing)."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / record_filename(record["benchmark"])
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_record(path: str | Path) -> dict[str, Any]:
+    """Read one ``BENCH_*.json`` record."""
+    return json.loads(Path(path).read_text())

@@ -28,6 +28,39 @@ def test_sweep_skip_predicate():
     assert [r["a"] for r in result.records] == [1, 3]
 
 
+def test_sweep_cartesian_grid_ordering():
+    """Points are emitted in cartesian order with the last axis fastest."""
+    result = sweep_configurations(
+        {"a": [1, 2], "b": ["x", "y"], "c": [True, False]},
+        measure=lambda a, b, c: {},
+    )
+    assert [(r["a"], r["b"], r["c"]) for r in result.records] == [
+        (1, "x", True),
+        (1, "x", False),
+        (1, "y", True),
+        (1, "y", False),
+        (2, "x", True),
+        (2, "x", False),
+        (2, "y", True),
+        (2, "y", False),
+    ]
+
+
+def test_sweep_filter_and_column_edge_cases():
+    result = sweep_configurations(
+        {"a": [1, 2]}, measure=lambda a: {"value": a * 2}
+    )
+    # filter on an unknown value or key matches nothing (no KeyError)
+    assert result.filter(a=99) == []
+    assert result.filter(nonexistent=1) == []
+    # multiple criteria are ANDed
+    assert result.filter(a=2, value=4) == [{"a": 2, "value": 4}]
+    # column is strict: every record must carry the requested key
+    assert result.column("a") == [1, 2]
+    with pytest.raises(KeyError):
+        result.column("missing")
+
+
 def test_sweep_series_extraction_sorted():
     result = sweep_configurations(
         {"n": [4, 2, 8], "mode": ["m"]},

@@ -1,0 +1,127 @@
+"""Tests of the benchmark scenario registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.registry import Scenario, WorkloadSpec
+from repro.feti.config import DualOperatorApproach
+from repro.feti.operators import (
+    ExplicitCpuDualOperator,
+    ExplicitGpuDualOperator,
+    HybridDualOperator,
+    ImplicitCpuDualOperator,
+    ImplicitGpuDualOperator,
+    make_dual_operator,
+)
+from repro.feti.problem import FetiProblem
+
+
+def test_registry_enumerates_enough_scenarios():
+    names = registry.names()
+    assert len(names) >= 8
+    assert len(set(names)) == len(names)
+
+
+def test_registry_covers_both_physics_and_dimensionalities():
+    selected = registry.scenarios()
+    assert {s.base.physics for s in selected} == {"heat", "elasticity"}
+    assert {s.base.dim for s in selected} == {2, 3}
+
+
+def test_quick_scenarios_cover_all_five_operator_backends():
+    """The CI gate set exercises every operator backend class."""
+    quick = registry.scenarios("quick")
+    assert len(quick) >= 5
+    approaches = {a for s in quick for a in s.approaches}
+    problem = registry.get("smoke_heat_2d").build_problem()
+    backends = {type(make_dual_operator(a, problem)) for a in approaches}
+    assert backends == {
+        ImplicitCpuDualOperator,
+        ExplicitCpuDualOperator,
+        ImplicitGpuDualOperator,
+        ExplicitGpuDualOperator,
+        HybridDualOperator,
+    }
+
+
+def test_quick_scenarios_cover_the_batched_engine_toggle():
+    quick = registry.scenarios("quick")
+    batched_values = {b for s in quick for b in s.batched}
+    assert batched_values == {True, False}
+
+
+def test_all_nine_approaches_registered_somewhere():
+    approaches = {a for s in registry.scenarios() for a in s.approaches}
+    assert approaches == set(DualOperatorApproach)
+
+
+def test_get_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="unknown scenario.*smoke_heat_2d"):
+        registry.get("no_such_scenario")
+
+
+def test_register_rejects_duplicate_names():
+    scenario = registry.get("smoke_heat_2d")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(scenario)
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError, match="unknown physics"):
+        WorkloadSpec("plasma", 2, (2, 2), 4)
+    with pytest.raises(ValueError, match="does not match dim"):
+        WorkloadSpec("heat", 3, (2, 2), 4)
+
+
+def test_scenario_grid_axes_and_point_count():
+    scenario = registry.get("heat_2d_scaling")
+    grid = scenario.grid()
+    assert sorted(grid) == ["approach", "batched", "cells", "subdomains"]
+    assert grid["subdomains"] == [(2, 2), (4, 4)]
+    assert scenario.n_points() == 4
+
+    sizes = registry.get("heat_2d_sizes")
+    assert sizes.grid()["cells"] == [7, 15, 31]
+    assert sizes.n_points() == 27
+
+
+def test_spec_with_substitutes_grid_axes():
+    scenario = registry.get("heat_2d_scaling")
+    spec = scenario.spec_with(subdomains=(4, 4), cells=3)
+    assert spec.subdomains == (4, 4)
+    assert spec.cells == 3
+    # the base spec is untouched
+    assert scenario.base.subdomains == (2, 2)
+    assert scenario.base.cells == 4
+
+
+def test_build_problem_is_cached_and_consistent():
+    scenario = registry.get("smoke_heat_2d")
+    problem = scenario.build_problem()
+    assert isinstance(problem, FetiProblem)
+    assert problem.n_subdomains == scenario.base.n_subdomains == 2
+    assert scenario.build_problem() is problem
+
+
+def test_scenario_tags_include_the_ci_gate_set():
+    assert "quick" in registry.all_tags()
+    assert registry.names("quick")
+    assert registry.names("no_such_tag") == []
+
+
+def test_scenarios_declare_expected_invariants():
+    for scenario in registry.scenarios("quick"):
+        assert scenario.expected, scenario.name
+
+
+def test_custom_scenario_roundtrip():
+    scenario = Scenario(
+        name="tmp_custom",
+        description="ad-hoc",
+        base=WorkloadSpec("heat", 2, (1, 2), 2),
+    )
+    assert scenario.grid()["subdomains"] == [(1, 2)]
+    assert scenario.n_points() == 1
+    assert scenario.build_problem().n_subdomains == 2

@@ -1,0 +1,130 @@
+"""Tests of the scenario runner and its benchmark records."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import registry
+from repro.bench.registry import Scenario, WorkloadSpec
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    InvariantViolation,
+    load_record,
+    measure_point,
+    point_key,
+    record_filename,
+    run_scenario,
+    write_record,
+)
+from repro.feti.config import DualOperatorApproach
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_scenario(registry.get("smoke_heat_2d"))
+
+
+def test_record_schema_and_environment_stamp(smoke_result):
+    record = smoke_result.record
+    assert record["schema_version"] == SCHEMA_VERSION
+    assert record["benchmark"] == "smoke_heat_2d"
+    assert record["scenario"]["physics"] == "heat"
+    assert record["scenario"]["dim"] == 2
+    assert "quick" in record["scenario"]["tags"]
+    env = record["environment"]
+    for key in ("git_sha", "python", "numpy", "scipy", "platform", "created_utc"):
+        assert key in env, key
+    assert env["repro_version"]
+
+
+def test_record_points_carry_metrics_and_invariants(smoke_result):
+    points = smoke_result.record["points"]
+    assert len(points) == 2  # two approaches, one workload
+    for point in points:
+        assert point["invariants"]["n_subdomains"] == 2
+        assert point["invariants"]["n_lambda"] > 0
+        assert point["simulated"]["preprocessing_seconds"] > 0.0
+        assert point["simulated"]["apply_seconds"] > 0.0
+        assert point["wall"]["apply_seconds"] > 0.0
+    keys = {p["key"] for p in points}
+    assert keys == {
+        "2x1/c2/impl mkl/batched",
+        "2x1/c2/expl mkl/batched",
+    }
+
+
+def test_sweep_result_is_queryable(smoke_result):
+    sweep = smoke_result.sweep
+    recs = sweep.filter(approach=DualOperatorApproach.EXPLICIT_MKL)
+    assert len(recs) == 1
+    assert recs[0]["sim_apply_seconds"] > 0.0
+    assert sweep.column("n_lambda") == [6, 6]
+
+
+def test_record_is_json_serializable_and_roundtrips(smoke_result, tmp_path):
+    path = write_record(smoke_result.record, tmp_path)
+    assert path.name == "BENCH_smoke_heat_2d.json"
+    assert load_record(path) == json.loads(json.dumps(smoke_result.record))
+
+
+def test_record_filename_sanitizes():
+    assert record_filename("a b/c") == "BENCH_a_b_c.json"
+
+
+def test_point_key_format():
+    key = point_key((4, 4), 7, DualOperatorApproach.EXPLICIT_HYBRID, False)
+    assert key == "4x4/c7/expl hybrid/looped"
+
+
+def test_measure_point_is_cached_and_deterministic():
+    scenario = registry.get("smoke_heat_2d")
+    spec = scenario.spec_with()
+    a = measure_point(spec, DualOperatorApproach.IMPLICIT_MKL, True, scenario.n_applies)
+    b = measure_point(spec, DualOperatorApproach.IMPLICIT_MKL, True, scenario.n_applies)
+    assert a is b  # lru_cache shares points across scenarios and tests
+    assert np.all(np.isfinite(a.q))
+
+
+def test_derived_speedup_present_only_with_both_batched_variants(smoke_result):
+    assert "derived" not in smoke_result.record
+    mini = Scenario(
+        name="tmp_batched_mini",
+        description="batched-vs-looped on the smoke workload",
+        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        batched=(True, False),
+        n_applies=2,
+    )
+    record = run_scenario(mini).record
+    (key,) = record["derived"]
+    assert key == "wall_apply_speedup[2x1/c2/expl mkl]"
+    assert record["derived"][key] > 0.0
+
+
+def test_expected_invariant_violation_raises():
+    bad = Scenario(
+        name="tmp_bad_expected",
+        description="declares the wrong subdomain count",
+        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        n_applies=1,
+        expected={"n_subdomains": 99},
+    )
+    with pytest.raises(InvariantViolation, match="n_subdomains=2"):
+        run_scenario(bad)
+    # the checks can be disabled explicitly
+    record = run_scenario(bad, check_invariants=False).record
+    assert record["points"]
+
+
+def test_unknown_expected_invariant_key_raises():
+    bad = Scenario(
+        name="tmp_bad_key",
+        description="declares an unknown invariant",
+        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        n_applies=1,
+        expected={"n_gpus": 1},
+    )
+    with pytest.raises(InvariantViolation, match="unknown invariant"):
+        run_scenario(bad)
