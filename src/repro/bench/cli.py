@@ -167,7 +167,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         path = write_record(result.record, args.output_dir)
         print(f"  wrote {path}")
+        _print_speedup_summary(result.record)
     return 0
+
+
+def _print_speedup_summary(record: dict) -> None:
+    """Preprocessing-vs-apply summary of one record (shown in the CI gate log).
+
+    Prints the derived wall-clock speedups (batched apply engine vs the
+    reference loop, supernodal preprocessing vs the scalar sparse kernels)
+    and the preprocessing/apply wall ratio of every measured point, so the
+    benchmark-gate job log shows at a glance which phase dominates and what
+    the optimized paths buy.
+    """
+    for key, value in record.get("derived", {}).items():
+        print(f"  {key} = {value:.2f}x")
+    for point in record.get("points", []):
+        wall = point.get("wall", {})
+        pre, app = wall.get("preprocessing_seconds"), wall.get("apply_seconds")
+        if pre and app:
+            print(
+                f"  {point['key']}: preprocessing {pre * 1e3:.1f} ms "
+                f"= {pre / app:.1f}x one apply ({app * 1e3:.2f} ms)"
+            )
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

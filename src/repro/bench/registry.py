@@ -8,10 +8,10 @@ runnable (``repro-bench run``), and regression-gated against committed
 baselines (``repro-bench compare``) — and gives the pytest benchmark suite
 and the CLI one shared source of scenario truth.
 
-A scenario's sweep grid always has four axes (``subdomains``, ``cells``,
-``approach``, ``batched``); axes not explicitly swept are pinned to the base
-workload values, so a scenario record is a cartesian product executed with
-:func:`repro.analysis.sweep.sweep_configurations`.
+A scenario's sweep grid always has five axes (``subdomains``, ``cells``,
+``approach``, ``batched``, ``blocked``); axes not explicitly swept are pinned
+to the base workload values, so a scenario record is a cartesian product
+executed with :func:`repro.analysis.sweep.sweep_configurations`.
 """
 
 from __future__ import annotations
@@ -112,6 +112,10 @@ class Scenario:
     batched:
         Values of the batched-engine toggle to sweep (the ``batched`` axis);
         ``(True, False)`` benchmarks the engine against the reference loop.
+    blocked:
+        Values of the sparse-kernel toggle to sweep (the ``blocked`` axis);
+        ``(True, False)`` benchmarks the supernodal kernels + pattern cache
+        against the scalar per-column reference path.
     subdomain_grid:
         Optional sweep axis over subdomain grids (``base.subdomains`` if
         unset).
@@ -133,6 +137,7 @@ class Scenario:
     base: WorkloadSpec
     approaches: tuple[DualOperatorApproach, ...] = (DualOperatorApproach.EXPLICIT_MKL,)
     batched: tuple[bool, ...] = (True,)
+    blocked: tuple[bool, ...] = (True,)
     subdomain_grid: tuple[tuple[int, ...], ...] | None = None
     cells_grid: tuple[int, ...] | None = None
     n_applies: int = 3
@@ -140,12 +145,13 @@ class Scenario:
     expected: dict[str, int] = field(default_factory=dict)
 
     def grid(self) -> dict[str, list[Any]]:
-        """The cartesian sweep grid of the scenario (four fixed axes)."""
+        """The cartesian sweep grid of the scenario (five fixed axes)."""
         return {
             "subdomains": list(self.subdomain_grid or (self.base.subdomains,)),
             "cells": list(self.cells_grid or (self.base.cells,)),
             "approach": list(self.approaches),
             "batched": list(self.batched),
+            "blocked": list(self.blocked),
         }
 
     def n_points(self) -> int:
@@ -319,6 +325,18 @@ def _register_defaults() -> None:
             n_applies=10,
             tags=frozenset({"quick", "wall"}),
             expected={"n_subdomains": 64, "dofs_per_subdomain": 25, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="preprocessing_phase",
+            description="Supernodal kernels + pattern cache vs scalar path: Schur assembly, 64 subdomains",
+            base=WorkloadSpec("heat", 2, (8, 8), 8),
+            approaches=(DualOperatorApproach.EXPLICIT_MKL,),
+            blocked=(True, False),
+            n_applies=2,
+            tags=frozenset({"quick", "wall", "preprocessing"}),
+            expected={"n_subdomains": 64, "dofs_per_subdomain": 81, "kernel_dim": 1},
         )
     )
     register(

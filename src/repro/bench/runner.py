@@ -90,17 +90,22 @@ def measure_point(
     spec: WorkloadSpec,
     approach: DualOperatorApproach,
     batched: bool = True,
+    blocked: bool = True,
     n_applies: int = 3,
 ) -> PointMeasurement:
-    """Measure one (workload, approach, batched) point (cached).
+    """Measure one (workload, approach, batched, blocked) point (cached).
 
     Simulated times come from the operator's timing ledger; wall-clock times
     wrap the real execution of prepare+preprocess and of the ``n_applies``
-    application loop (mean per apply).
+    application loop (mean per apply).  The pattern cache is cleared before
+    every measurement so each point pays its own symbolic-analysis cost.
     """
+    from repro.sparse.cache import global_pattern_cache
+
+    global_pattern_cache().clear()
     problem = build_feti_problem(spec)
     operator = make_dual_operator(
-        approach, problem, machine_config=RUNNER_MACHINE, batched=batched
+        approach, problem, machine_config=RUNNER_MACHINE, batched=batched, blocked=blocked
     )
     wall0 = time.perf_counter()
     operator.prepare()
@@ -129,11 +134,20 @@ def measure_point(
 
 
 def point_key(
-    subdomains: tuple[int, ...], cells: int, approach: DualOperatorApproach, batched: bool
+    subdomains: tuple[int, ...],
+    cells: int,
+    approach: DualOperatorApproach,
+    batched: bool,
+    blocked: bool = True,
 ) -> str:
-    """Stable human-readable identity of a grid point (used for pairing)."""
+    """Stable human-readable identity of a grid point (used for pairing).
+
+    The ``blocked=True`` default leaves historical keys unchanged; scalar
+    sparse-kernel points are suffixed with ``/scalar``.
+    """
     grid = "x".join(str(s) for s in subdomains)
-    return f"{grid}/c{cells}/{approach.value}/{'batched' if batched else 'looped'}"
+    key = f"{grid}/c{cells}/{approach.value}/{'batched' if batched else 'looped'}"
+    return key if blocked else key + "/scalar"
 
 
 @dataclass
@@ -154,12 +168,13 @@ def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioR
         cells: int,
         approach: DualOperatorApproach,
         batched: bool,
+        blocked: bool,
     ) -> dict[str, Any]:
         spec = scenario.spec_with(subdomains, cells)
-        m = measure_point(spec, approach, batched, scenario.n_applies)
-        qs[(subdomains, cells, approach, batched)] = m.q
+        m = measure_point(spec, approach, batched, blocked, scenario.n_applies)
+        qs[(subdomains, cells, approach, batched, blocked)] = m.q
         return {
-            "key": point_key(subdomains, cells, approach, batched),
+            "key": point_key(subdomains, cells, approach, batched, blocked),
             "n_subdomains": m.n_subdomains,
             "n_lambda": m.n_lambda,
             "dofs_per_subdomain": m.dofs_per_subdomain,
@@ -184,17 +199,17 @@ def _check_operator_consistency(
 ) -> None:
     """All approaches of one workload must compute the same dual operator."""
     reference: dict[tuple[Any, ...], tuple[Any, ...]] = {}
-    for (subdomains, cells, approach, batched), q in qs.items():
+    for (subdomains, cells, approach, batched, blocked), q in qs.items():
         workload = (subdomains, cells)
         if workload not in reference:
-            reference[workload] = (approach, batched)
+            reference[workload] = (approach, batched, blocked)
             continue
         ref_point = reference[workload]
         ref_q = qs[(*workload, *ref_point)]
         if not np.allclose(q, ref_q, rtol=1e-7, atol=1e-8):
             raise InvariantViolation(
                 f"scenario {scenario.name!r}: "
-                f"{point_key(subdomains, cells, approach, batched)} diverges from "
+                f"{point_key(subdomains, cells, approach, batched, blocked)} diverges from "
                 f"{point_key(subdomains, cells, *ref_point)} "
                 f"(max |Δ| = {np.max(np.abs(q - ref_q)):.3e})"
             )
@@ -234,6 +249,7 @@ def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
                 "cells": int(r["cells"]),
                 "approach": r["approach"].value,
                 "batched": bool(r["batched"]),
+                "blocked": bool(r["blocked"]),
                 "invariants": {
                     "n_subdomains": r["n_subdomains"],
                     "n_lambda": r["n_lambda"],
@@ -273,16 +289,36 @@ def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
 
 
 def _derived_metrics(sweep: SweepResult) -> dict[str, float]:
-    """Wall-clock speedups of the batched engine over the reference loop."""
+    """Wall-clock speedups of the optimized engines over the reference paths.
+
+    ``wall_apply_speedup`` compares the batched apply engine against the
+    per-subdomain loop (at equal ``blocked``); ``wall_preprocessing_speedup``
+    compares the supernodal sparse kernels + pattern cache against the
+    scalar path (at equal ``batched``) on the preparation+preprocessing
+    wall-clock time, i.e. on the Schur-complement assembly for the explicit
+    approaches.
+    """
     derived: dict[str, float] = {}
-    by_variant: dict[tuple[Any, ...], dict[bool, float]] = {}
+    by_apply: dict[tuple[Any, ...], dict[bool, float]] = {}
+    by_preproc: dict[tuple[Any, ...], dict[bool, float]] = {}
     for r in sweep.records:
-        variant = (r["subdomains"], r["cells"], r["approach"])
-        by_variant.setdefault(variant, {})[r["batched"]] = r["wall_apply_seconds"]
-    for (subdomains, cells, approach), walls in by_variant.items():
+        apply_variant = (r["subdomains"], r["cells"], r["approach"], r["blocked"])
+        by_apply.setdefault(apply_variant, {})[r["batched"]] = r["wall_apply_seconds"]
+        preproc_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"])
+        by_preproc.setdefault(preproc_variant, {})[r["blocked"]] = r[
+            "wall_preprocessing_seconds"
+        ]
+    for (subdomains, cells, approach, blocked), walls in by_apply.items():
         if True in walls and False in walls and walls[True] > 0.0:
             grid = "x".join(str(s) for s in subdomains)
-            key = f"wall_apply_speedup[{grid}/c{cells}/{approach.value}]"
+            suffix = "" if blocked else "/scalar"
+            key = f"wall_apply_speedup[{grid}/c{cells}/{approach.value}{suffix}]"
+            derived[key] = walls[False] / walls[True]
+    for (subdomains, cells, approach, batched), walls in by_preproc.items():
+        if True in walls and False in walls and walls[True] > 0.0:
+            grid = "x".join(str(s) for s in subdomains)
+            suffix = "" if batched else "/looped"
+            key = f"wall_preprocessing_speedup[{grid}/c{cells}/{approach.value}{suffix}]"
             derived[key] = walls[False] / walls[True]
     return derived
 

@@ -58,6 +58,7 @@ def make_dual_operator(
     machine_config: MachineConfig | None = None,
     assembly_config: AssemblyConfig | None = None,
     batched: bool = True,
+    blocked: bool = True,
 ) -> DualOperatorBase:
     """Instantiate one of the nine Table-III dual-operator approaches.
 
@@ -79,6 +80,10 @@ def make_dual_operator(
         (:mod:`repro.feti.operators.batch`) instead of the per-subdomain
         Python loop.  Numerically identical; the loop is the reference
         fallback.
+    blocked:
+        Run the sparse layer through the supernodal/blocked kernels and the
+        shared pattern cache (:mod:`repro.sparse`).  Numerically identical;
+        the scalar per-column kernels are the reference fallback.
     """
     config = machine_config or MachineConfig()
     cuda = approach.cuda_library
@@ -89,34 +94,36 @@ def make_dual_operator(
 
     if approach is DualOperatorApproach.IMPLICIT_MKL:
         return ImplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched
+            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched, blocked=blocked
         )
     if approach is DualOperatorApproach.IMPLICIT_CHOLMOD:
         return ImplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched
+            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched, blocked=blocked
         )
     if approach is DualOperatorApproach.EXPLICIT_MKL:
         return ExplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched
+            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched, blocked=blocked
         )
     if approach is DualOperatorApproach.EXPLICIT_CHOLMOD:
         return ExplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched
+            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched, blocked=blocked
         )
     if approach in (
         DualOperatorApproach.IMPLICIT_GPU_LEGACY,
         DualOperatorApproach.IMPLICIT_GPU_MODERN,
     ):
         return ImplicitGpuDualOperator(
-            problem, machine, approach=approach, batched=batched
+            problem, machine, approach=approach, batched=batched, blocked=blocked
         )
     if approach in (
         DualOperatorApproach.EXPLICIT_GPU_LEGACY,
         DualOperatorApproach.EXPLICIT_GPU_MODERN,
     ):
         return ExplicitGpuDualOperator(
-            problem, machine, approach=approach, config=assembly, batched=batched
+            problem, machine, approach=approach, config=assembly, batched=batched, blocked=blocked
         )
     if approach is DualOperatorApproach.EXPLICIT_HYBRID:
-        return HybridDualOperator(problem, machine, config=assembly, batched=batched)
+        return HybridDualOperator(
+            problem, machine, config=assembly, batched=batched, blocked=blocked
+        )
     raise ValueError(f"unknown approach: {approach}")

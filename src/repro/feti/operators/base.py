@@ -38,6 +38,7 @@ class DualOperatorBase(abc.ABC):
         machine: Machine,
         config: AssemblyConfig | None = None,
         batched: bool = True,
+        blocked: bool = True,
     ) -> None:
         self.problem = problem
         self.machine = machine
@@ -47,6 +48,11 @@ class DualOperatorBase(abc.ABC):
         #: the per-subdomain Python loop.  Both paths are numerically
         #: identical; the loop is kept as a reference/fallback.
         self.batched = batched
+        #: Run the sparse layer through the supernodal/blocked kernels and
+        #: the shared pattern cache (the default); ``False`` selects the
+        #: scalar per-column reference kernels without pattern sharing.
+        #: Both paths are numerically identical.
+        self.blocked = blocked
         self.ledger = TimingLedger()
         self._prepared = False
         self._preprocessed = False

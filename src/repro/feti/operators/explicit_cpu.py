@@ -32,8 +32,9 @@ class ExplicitCpuDualOperator(DualOperatorBase):
         machine: Machine,
         library: CpuLibrary = CpuLibrary.MKL_PARDISO,
         batched: bool = True,
+        blocked: bool = True,
     ) -> None:
-        super().__init__(problem, machine, batched=batched)
+        super().__init__(problem, machine, batched=batched, blocked=blocked)
         self.library = library
         self.approach = (
             DualOperatorApproach.EXPLICIT_MKL
@@ -43,7 +44,9 @@ class ExplicitCpuDualOperator(DualOperatorBase):
         solver_cls = (
             PardisoLikeSolver if library is CpuLibrary.MKL_PARDISO else CholmodLikeSolver
         )
-        self._cpu_solvers = {s.index: solver_cls() for s in problem.subdomains}
+        self._cpu_solvers = {
+            s.index: solver_cls(blocked=blocked) for s in problem.subdomains
+        }
         #: The assembled dense local dual operators, filled by preprocess().
         self.local_F: dict[int, np.ndarray] = {}
 

@@ -99,15 +99,18 @@ class ExplicitGpuDualOperator(DualOperatorBase):
         approach: DualOperatorApproach = DualOperatorApproach.EXPLICIT_GPU_MODERN,
         config: AssemblyConfig | None = None,
         batched: bool = True,
+        blocked: bool = True,
     ) -> None:
-        super().__init__(problem, machine, config, batched=batched)
+        super().__init__(problem, machine, config, batched=batched, blocked=blocked)
         if approach not in (
             DualOperatorApproach.EXPLICIT_GPU_LEGACY,
             DualOperatorApproach.EXPLICIT_GPU_MODERN,
         ):
             raise ValueError(f"not an explicit GPU approach: {approach}")
         self.approach = approach
-        self._cpu_solvers = {s.index: CholmodLikeSolver() for s in problem.subdomains}
+        self._cpu_solvers = {
+            s.index: CholmodLikeSolver(blocked=blocked) for s in problem.subdomains
+        }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
         self._cluster_state: dict[int, _ClusterState] = {}
 
@@ -399,7 +402,7 @@ class ExplicitGpuDualOperator(DualOperatorBase):
         assert plan is not None and state.device_factor is not None
         return cusparse.trsm(
             device, stream, plan, state.device_factor, rhs, submit_time,
-            transpose=transpose, arena=arena,
+            transpose=transpose, arena=arena, blocked=self.blocked,
         )
 
     # ------------------------------------------------------------------ #

@@ -39,12 +39,17 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         machine: Machine,
         config: AssemblyConfig | None = None,
         batched: bool = True,
+        blocked: bool = True,
     ) -> None:
         # Bypass the ExplicitGpuDualOperator constructor: the hybrid approach
         # owns PARDISO-like CPU solvers and never uploads factors.
-        DualOperatorBase.__init__(self, problem, machine, config, batched=batched)
+        DualOperatorBase.__init__(
+            self, problem, machine, config, batched=batched, blocked=blocked
+        )
         self.approach = DualOperatorApproach.EXPLICIT_HYBRID
-        self._cpu_solvers = {s.index: PardisoLikeSolver() for s in problem.subdomains}
+        self._cpu_solvers = {
+            s.index: PardisoLikeSolver(blocked=blocked) for s in problem.subdomains
+        }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
         self._cluster_state: dict[int, _ClusterState] = {}
 

@@ -48,15 +48,18 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         machine: Machine,
         approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_GPU_MODERN,
         batched: bool = True,
+        blocked: bool = True,
     ) -> None:
-        super().__init__(problem, machine, batched=batched)
+        super().__init__(problem, machine, batched=batched, blocked=blocked)
         if approach not in (
             DualOperatorApproach.IMPLICIT_GPU_LEGACY,
             DualOperatorApproach.IMPLICIT_GPU_MODERN,
         ):
             raise ValueError(f"not an implicit GPU approach: {approach}")
         self.approach = approach
-        self._cpu_solvers = {s.index: CholmodLikeSolver() for s in problem.subdomains}
+        self._cpu_solvers = {
+            s.index: CholmodLikeSolver(blocked=blocked) for s in problem.subdomains
+        }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
 
     # ------------------------------------------------------------------ #
@@ -201,10 +204,12 @@ class ImplicitGpuDualOperator(DualOperatorBase):
                 clocks.advance(i, device.cost_model.submission_overhead_cpu)
 
                 rhs = state.work_vec.array
-                lower = sp.csc_matrix(sp.tril(state.device_factor.matrix))
-                from repro.sparse.triangular import csc_trsm_lower, csc_trsm_upper
-
-                rhs[...] = csc_trsm_lower(lower, rhs)
+                # Prepared once per factor upload; repeated TRSVs inside the
+                # PCPG iteration stop paying the CSC conversion cost.
+                lower = cusparse.prepared_lower_factor(
+                    state.device_factor, blocked=self.blocked
+                )
+                rhs[...] = lower.solve_lower(rhs)
                 op = stream.submit(
                     "cusparse.trsv_fwd",
                     device.cost_model.sparse_trsm(
@@ -215,7 +220,7 @@ class ImplicitGpuDualOperator(DualOperatorBase):
                 breakdown["trsv"] += op.duration
                 clocks.advance(i, device.cost_model.submission_overhead_cpu)
 
-                rhs[...] = csc_trsm_upper(lower, rhs)
+                rhs[...] = lower.solve_upper(rhs)
                 op = stream.submit(
                     "cusparse.trsv_bwd",
                     device.cost_model.sparse_trsm(

@@ -70,6 +70,10 @@ class FetiSolverOptions:
         Drive the dual operator through the batched subdomain execution
         engine (the default); ``False`` selects the per-subdomain reference
         loops.
+    blocked:
+        Run the sparse layer through the supernodal/blocked kernels and the
+        shared pattern cache (the default); ``False`` selects the scalar
+        per-column reference kernels.
     """
 
     approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_MKL
@@ -78,6 +82,7 @@ class FetiSolverOptions:
     machine_config: MachineConfig | None = None
     assembly_config: AssemblyConfig | None = None
     batched: bool = True
+    blocked: bool = True
 
 
 @dataclass
@@ -128,6 +133,7 @@ class FetiSolver:
             machine_config=self.options.machine_config,
             assembly_config=assembly,
             batched=self.options.batched,
+            blocked=self.options.blocked,
         )
         self.projector = Projector(problem.assemble_G())
         self.preconditioner = self._make_preconditioner()

@@ -96,6 +96,10 @@ class DeviceCsrMatrix:
     #: Optional reference to the in-package Cholesky factor this matrix was
     #: built from (lets the simulated kernels reuse its solve routines).
     factor: object | None = field(default=None, repr=False)
+    #: Cached prepared triangular factor of the simulated TRSV/TRSM kernels
+    #: (see :func:`repro.gpu.cusparse.prepared_lower_factor`); invalidated by
+    #: :meth:`repro.gpu.device.Device.update_sparse_values`.
+    _prepared_tri: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def shape(self) -> tuple[int, int]:

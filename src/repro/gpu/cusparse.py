@@ -24,10 +24,11 @@ from repro.gpu.costmodel import CudaVersion
 from repro.gpu.device import Device
 from repro.gpu.memory import Allocation, MemoryPool, TemporaryArena
 from repro.gpu.stream import Stream, StreamOperation
-from repro.sparse.triangular import csc_trsm_lower, csc_trsm_upper
+from repro.sparse.triangular import PreparedCscFactor, prepare_csc_factor
 
 __all__ = [
     "SparseTrsmPlan",
+    "prepared_lower_factor",
     "trsm_analysis",
     "trsm",
     "spmm",
@@ -36,6 +37,24 @@ __all__ = [
     "scatter",
     "gather",
 ]
+
+
+def prepared_lower_factor(
+    matrix: DeviceCsrMatrix, blocked: bool = True
+) -> PreparedCscFactor:
+    """The device matrix's lower triangle, prepared for triangular solves.
+
+    The conversion to sorted CSC (and, with ``blocked``, the supernode-panel
+    detection) runs once per value upload instead of on every TRSV/TRSM
+    call; the cache is keyed by the ``blocked`` variant and invalidated
+    whenever the factor values are re-uploaded.
+    """
+    cached = matrix._prepared_tri
+    if isinstance(cached, tuple) and cached[0] == blocked:
+        return cached[1]
+    prepared = prepare_csc_factor(sp.tril(matrix.matrix), blocked=blocked)
+    matrix._prepared_tri = (blocked, prepared)
+    return prepared
 
 
 @dataclass
@@ -116,22 +135,24 @@ def trsm(
     submit_time: float,
     transpose: bool = False,
     arena: TemporaryArena | None = None,
+    blocked: bool = True,
 ) -> StreamOperation:
     """Sparse triangular solve ``op(L) X = B`` performed in place on ``rhs``.
 
     The factor is interpreted as lower triangular; ``transpose=True`` solves
     with ``Lᵀ``.  A temporary workspace is taken from the arena for the
     duration of the kernel (blocking if necessary), mirroring the paper's
-    temporary-memory allocator usage.
+    temporary-memory allocator usage.  ``blocked`` selects the supernodal
+    panel solve of the prepared factor (the scalar loop otherwise).
     """
     workspace = None
     if arena is not None and plan.temporary_bytes > 0:
         workspace = arena.allocate(plan.temporary_bytes, label="cusparse-trsm-buffer")
-    lower = sp.csc_matrix(sp.tril(factor.matrix))
+    lower = prepared_lower_factor(factor, blocked=blocked)
     if transpose:
-        rhs.array[...] = csc_trsm_upper(lower, rhs.array)
+        rhs.array[...] = lower.solve_upper(rhs.array)
     else:
-        rhs.array[...] = csc_trsm_lower(lower, rhs.array)
+        rhs.array[...] = lower.solve_lower(rhs.array)
     n, nrhs = rhs.shape
     duration = device.cost_model.sparse_trsm(
         plan.factor_nnz, n, nrhs, plan.version, plan.csc_factor, plan.col_major_rhs

@@ -196,6 +196,7 @@ class Device:
         device, only the values are copied again.
         """
         device_matrix.matrix = sp.csr_matrix(matrix)
+        device_matrix._prepared_tri = None  # values changed: re-prepare solves
         nbytes = 8 * device_matrix.nnz
         return stream.submit(
             f"h2d-values:{device_matrix.label}", self.cost_model.transfer(nbytes), submit_time

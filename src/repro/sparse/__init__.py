@@ -9,6 +9,14 @@ production libraries the paper uses (CHOLMOD, MKL PARDISO):
 * a **numeric** phase — filling the factor with values (repeated every time
   step of the multi-step simulation).
 
+The symbolic phase additionally produces a **level schedule** and a relaxed
+**supernode partition** of the factor pattern; the numeric phase and the
+triangular kernels run over the resulting dense panels by default
+(``blocked=True``, GEMM/POTRF-style NumPy calls), with the scalar per-column
+loops kept as selectable reference paths.  A structural **pattern cache**
+(:mod:`repro.sparse.cache`) shares one symbolic analysis across all
+subdomains with the same sparsity pattern.
+
 On top of the factorization the package provides sparse triangular solves
 (vector and multi-RHS), a Schur-complement engine that exploits the sparsity
 of the right-hand side block (the analogue of PARDISO's augmented incomplete
@@ -19,15 +27,25 @@ extracted, but a fast Schur complement is available).
 """
 
 from repro.sparse.ordering import OrderingMethod, compute_ordering
-from repro.sparse.symbolic import SymbolicFactor, symbolic_cholesky, elimination_tree
+from repro.sparse.symbolic import (
+    SupernodePartition,
+    SymbolicFactor,
+    symbolic_cholesky,
+    detect_supernodes,
+    elimination_levels,
+    elimination_tree,
+)
 from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
 from repro.sparse.triangular import (
+    PreparedCscFactor,
+    prepare_csc_factor,
     sparse_trsv_lower,
     sparse_trsv_upper,
     sparse_trsm_lower,
     sparse_trsm_upper,
 )
 from repro.sparse.schur import schur_complement
+from repro.sparse.cache import PatternCache, global_pattern_cache, structural_key
 from repro.sparse.costmodel import CpuCostModel, CpuLibrary
 from repro.sparse.solvers import (
     CholmodLikeSolver,
@@ -39,16 +57,24 @@ from repro.sparse.solvers import (
 __all__ = [
     "OrderingMethod",
     "compute_ordering",
+    "SupernodePartition",
     "SymbolicFactor",
     "symbolic_cholesky",
+    "detect_supernodes",
+    "elimination_levels",
     "elimination_tree",
     "CholeskyFactor",
     "numeric_cholesky",
+    "PreparedCscFactor",
+    "prepare_csc_factor",
     "sparse_trsv_lower",
     "sparse_trsv_upper",
     "sparse_trsm_lower",
     "sparse_trsm_upper",
     "schur_complement",
+    "PatternCache",
+    "global_pattern_cache",
+    "structural_key",
     "CpuCostModel",
     "CpuLibrary",
     "CholmodLikeSolver",

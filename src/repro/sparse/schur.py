@@ -66,7 +66,10 @@ def rhs_sparsity_fill(B: sp.spmatrix, perm: np.ndarray) -> float:
 
 
 def schur_complement(
-    factor: CholeskyFactor, B: sp.spmatrix, exploit_rhs_sparsity: bool = True
+    factor: CholeskyFactor,
+    B: sp.spmatrix,
+    exploit_rhs_sparsity: bool = True,
+    blocked: bool = True,
 ) -> np.ndarray:
     """Assemble ``S = B̃ K_reg⁻¹ B̃ᵀ`` explicitly on the CPU.
 
@@ -82,6 +85,9 @@ def schur_complement(
         forward solve (the augmented-incomplete-factorization behaviour).
         Disabling it gives the plain TRSM path (the CHOLMOD-based explicit
         CPU approach) — the numerical result is identical.
+    blocked:
+        Run the forward solve over supernode panels (the default) or through
+        the scalar per-column reference loop.
 
     Returns
     -------
@@ -99,5 +105,5 @@ def schur_complement(
         start_rows[nonempty] = column_first_rows(Bt)
     else:
         start_rows = None
-    W = sparse_trsm_lower(factor, rhs, start_rows=start_rows)
+    W = sparse_trsm_lower(factor, rhs, start_rows=start_rows, blocked=blocked)
     return W.T @ W

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.cache import PatternCache, global_pattern_cache
 from repro.sparse.costmodel import CpuLibrary
 from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
 from repro.sparse.ordering import OrderingMethod
@@ -55,9 +56,40 @@ class SparseSolverBase:
     #: Whether :meth:`extract_factor` is available.
     supports_factor_extraction: bool = True
 
-    def __init__(self, ordering: OrderingMethod | str = OrderingMethod.RCM) -> None:
+    def __init__(
+        self,
+        ordering: OrderingMethod | str = OrderingMethod.RCM,
+        blocked: bool = True,
+        pattern_cache: PatternCache | bool | None = None,
+    ) -> None:
+        """Create a solver facade.
+
+        Parameters
+        ----------
+        ordering:
+            Fill-reducing ordering of the factorization.
+        blocked:
+            Run the supernodal/panel kernels (the default).  ``False``
+            selects the scalar per-column reference paths and — unless a
+            cache is passed explicitly — disables the pattern cache, so the
+            scalar configuration is a faithful per-subdomain baseline.
+        pattern_cache:
+            Pattern cache for the symbolic analysis.  ``None`` picks the
+            process-global cache when ``blocked`` (and no cache otherwise);
+            ``True`` forces the process-global cache, ``False`` disables
+            caching, and a :class:`PatternCache` instance scopes sharing
+            explicitly.
+        """
         self.ordering = (
             OrderingMethod(ordering) if isinstance(ordering, str) else ordering
+        )
+        self.blocked = blocked
+        if pattern_cache is None:
+            pattern_cache = blocked
+        if pattern_cache is True:
+            pattern_cache = global_pattern_cache()
+        self._pattern_cache = (
+            pattern_cache if isinstance(pattern_cache, PatternCache) else None
         )
         self._symbolic: SymbolicFactor | None = None
         self._factor: CholeskyFactor | None = None
@@ -66,8 +98,21 @@ class SparseSolverBase:
     # Phases                                                              #
     # ------------------------------------------------------------------ #
     def analyze(self, K: sp.spmatrix) -> SymbolicFactor:
-        """Symbolic factorization (run once per sparsity pattern)."""
-        self._symbolic = symbolic_cholesky(K, ordering=self.ordering)
+        """Symbolic factorization (run once per sparsity pattern).
+
+        With a pattern cache every subdomain sharing the sparsity pattern
+        reuses one symbolic factorization (ordering, elimination tree,
+        supernodes, scatter maps); the analysis then runs once per pattern
+        instead of once per subdomain.
+        """
+        if self._pattern_cache is not None:
+            self._symbolic = self._pattern_cache.symbolic_for(
+                K, self.ordering, supernodes=self.blocked
+            )
+        else:
+            self._symbolic = symbolic_cholesky(
+                K, ordering=self.ordering, supernodes=self.blocked
+            )
         self._factor = None
         return self._symbolic
 
@@ -76,7 +121,7 @@ class SparseSolverBase:
         if self._symbolic is None:
             self.analyze(K)
         assert self._symbolic is not None
-        self._factor = numeric_cholesky(K, self._symbolic)
+        self._factor = numeric_cholesky(K, self._symbolic, blocked=self.blocked)
         return self._factor
 
     # ------------------------------------------------------------------ #
@@ -129,8 +174,10 @@ class SparseSolverBase:
         """Solve ``K x = b`` for one right-hand side (original ordering)."""
         factor = self._require_factor()
         perm = factor.symbolic.perm
-        y = sparse_trsv_lower(factor, np.asarray(b, dtype=float)[perm])
-        xp = sparse_trsv_upper(factor, y)
+        y = sparse_trsv_lower(
+            factor, np.asarray(b, dtype=float)[perm], blocked=self.blocked
+        )
+        xp = sparse_trsv_upper(factor, y, blocked=self.blocked)
         x = np.empty_like(xp)
         x[perm] = xp
         return x
@@ -139,8 +186,10 @@ class SparseSolverBase:
         """Solve ``K X = B`` for a dense multi-column right-hand side."""
         factor = self._require_factor()
         perm = factor.symbolic.perm
-        Y = sparse_trsm_lower(factor, np.asarray(B, dtype=float)[perm, :])
-        Xp = sparse_trsm_upper(factor, Y)
+        Y = sparse_trsm_lower(
+            factor, np.asarray(B, dtype=float)[perm, :], blocked=self.blocked
+        )
+        Xp = sparse_trsm_upper(factor, Y, blocked=self.blocked)
         X = np.empty_like(Xp)
         X[perm, :] = Xp
         return X
@@ -156,7 +205,10 @@ class SparseSolverBase:
         """Assemble ``B K⁻¹ Bᵀ`` explicitly (in the original ordering)."""
         factor = self._require_factor()
         return schur_complement(
-            factor, B, exploit_rhs_sparsity=self._exploit_rhs_sparsity()
+            factor,
+            B,
+            exploit_rhs_sparsity=self._exploit_rhs_sparsity(),
+            blocked=self.blocked,
         )
 
     def _exploit_rhs_sparsity(self) -> bool:

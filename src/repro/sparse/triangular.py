@@ -1,4 +1,4 @@
-"""Sparse triangular solves (vector and multi-RHS).
+"""Sparse triangular solves (vector and multi-RHS, blocked and scalar).
 
 These are the CPU counterparts of the cuSPARSE ``TRSV``/``TRSM`` kernels used
 by the paper.  The factor is given as a :class:`~repro.sparse.numeric.CholeskyFactor`
@@ -6,21 +6,44 @@ by the paper.  The factor is given as a :class:`~repro.sparse.numeric.CholeskyFa
 forward solve with ``L`` and the backward solve with ``Lᵀ`` traverse the same
 arrays, so no transposition is ever materialized.
 
-Multi-RHS variants operate on a two-dimensional right-hand side and vectorize
-the inner updates over all columns at once, which is what makes the explicit
-assembly (``TRSM`` with the dense ``B̃ᵢᵀ`` block) practical in NumPy.
+Every kernel has two execution paths:
 
-For sparse right-hand sides the forward solve supports skipping the leading
-zero rows (``start_row``); this mirrors how PARDISO's augmented incomplete
-factorization exploits the sparsity of ``B̃ᵢ`` during Schur-complement
-assembly.
+* ``blocked=True`` (the default) dispatches over the **supernode panels** of
+  the symbolic analysis: one dense triangular solve per panel diagonal block
+  plus one GEMM per off-panel block, so the Python-level loop runs once per
+  supernode instead of once per column.  Factors whose symbolic analysis
+  carries no supernode partition fall back to a **level-scheduled** solve
+  (columns grouped by elimination-tree depth, one vectorized update per
+  level) for the single-RHS kernels.
+* ``blocked=False`` keeps the scalar per-column loops as the reference path;
+  the tests assert both paths produce identical results.
+
+For sparse right-hand sides the forward solve supports skipping leading zero
+rows.  The multi-RHS kernel honors **per-column** first-nonzero rows by
+sorting the columns and activating them as the elimination reaches their
+first row, which mirrors how PARDISO's augmented incomplete factorization
+exploits the sparsity of ``B̃ᵢ`` during Schur-complement assembly.
+
+The generic ``csc_trsm_*`` variants back the simulated cuSPARSE kernels,
+which receive plain SciPy matrices; :class:`PreparedCscFactor` caches the
+converted/sorted storage (and detected panels) so repeated solves with the
+same factor stop paying the conversion cost.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
+from scipy.linalg.lapack import dtrtrs
 
 from repro.sparse.numeric import CholeskyFactor
+from repro.sparse.symbolic import (
+    MAX_SUPERNODE,
+    RELAX_PADDING,
+    SupernodePartition,
+    SymbolicFactor,
+    _panel_positions,
+)
 
 __all__ = [
     "sparse_trsv_lower",
@@ -29,11 +52,130 @@ __all__ = [
     "sparse_trsm_upper",
     "csc_trsm_lower",
     "csc_trsm_upper",
+    "PreparedCscFactor",
+    "prepare_csc_factor",
 ]
 
 
+# --------------------------------------------------------------------- #
+# Shared panel solvers                                                   #
+# --------------------------------------------------------------------- #
+def _panel_solve_lower(
+    part: SupernodePartition,
+    data: np.ndarray,
+    y: np.ndarray,
+    start_row: int = 0,
+    sorted_starts: np.ndarray | None = None,
+) -> None:
+    """In-place forward solve ``L y = b`` over supernode panels.
+
+    With ``sorted_starts`` (ascending first-nonzero rows of the columns of a
+    2-D ``y``) only the already-activated column prefix participates in each
+    panel, which is how the per-column right-hand-side sparsity is exploited.
+    """
+    snode_ptr, panel_off = part.snode_ptr, part.panel_off
+    widths, heights = part.widths, part.heights
+    s0 = (
+        int(np.searchsorted(snode_ptr[1:], start_row, side="right"))
+        if start_row > 0
+        else 0
+    )
+    for s in range(s0, part.n_supernodes):
+        j0, j1 = int(snode_ptr[s]), int(snode_ptr[s + 1])
+        w, h = int(widths[s]), int(heights[s])
+        pv = data[panel_off[s] : panel_off[s + 1]].reshape(h, w)
+        if sorted_starts is None:
+            yj, _ = dtrtrs(pv[:w], y[j0:j1], lower=1)
+            y[j0:j1] = yj
+            if h > w:
+                y[part.below_rows[s]] -= pv[w:] @ yj
+        else:
+            a = int(np.searchsorted(sorted_starts, j1 - 1, side="right"))
+            if a == 0:
+                continue
+            yj, _ = dtrtrs(pv[:w], y[j0:j1, :a], lower=1)
+            y[j0:j1, :a] = yj
+            if h > w:
+                y[part.below_rows[s], :a] -= pv[w:] @ yj
+
+
+def _panel_solve_upper(
+    part: SupernodePartition, data: np.ndarray, x: np.ndarray
+) -> None:
+    """In-place backward solve ``Lᵀ x = b`` over supernode panels."""
+    snode_ptr, panel_off = part.snode_ptr, part.panel_off
+    widths, heights = part.widths, part.heights
+    for s in range(part.n_supernodes - 1, -1, -1):
+        j0, j1 = int(snode_ptr[s]), int(snode_ptr[s + 1])
+        w, h = int(widths[s]), int(heights[s])
+        pv = data[panel_off[s] : panel_off[s + 1]].reshape(h, w)
+        if h > w:
+            x[j0:j1] -= pv[w:].T @ x[part.below_rows[s]]
+        x[j0:j1], _ = dtrtrs(pv[:w], x[j0:j1], lower=1, trans=1)
+
+
+# --------------------------------------------------------------------- #
+# Level-scheduled fallback (no supernode partition)                      #
+# --------------------------------------------------------------------- #
+def _ranges_concat(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s + l) for s, l in zip(starts, lens)]``."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lens)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - lens, lens)
+    return np.repeat(starts, lens) + offsets
+
+
+def _level_schedule(s: SymbolicFactor) -> list[tuple[np.ndarray, ...]]:
+    """Per-level column groups and gather indices (built once, cached)."""
+    if s._level_sched is None:
+        levels = s.levels
+        assert levels is not None
+        order = np.argsort(levels, kind="stable").astype(np.int64)
+        nlev = int(levels.max()) + 1 if s.n else 0
+        lcounts = np.bincount(levels, minlength=nlev)
+        lptr = np.concatenate(([0], np.cumsum(lcounts))).astype(np.int64)
+        sched = []
+        for lev in range(nlev):
+            cols = order[lptr[lev] : lptr[lev + 1]]
+            lens = (s.col_ptr[cols + 1] - s.col_ptr[cols] - 1).astype(np.int64)
+            vidx = _ranges_concat(s.col_ptr[cols] + 1, lens)
+            seg_ids = np.repeat(np.arange(cols.shape[0], dtype=np.int64), lens)
+            sched.append((cols, s.col_ptr[cols], vidx, seg_ids))
+        s._level_sched = sched
+    return s._level_sched
+
+
+def _level_solve_lower(factor: CholeskyFactor, y: np.ndarray) -> None:
+    """Forward solve processing independent columns level by level."""
+    s = factor.symbolic
+    values, row_idx = factor.values, s.row_idx
+    for cols, diag_idx, vidx, seg_ids in _level_schedule(s):
+        yj = y[cols] / values[diag_idx]
+        y[cols] = yj
+        if vidx.shape[0]:
+            np.subtract.at(y, row_idx[vidx], values[vidx] * yj[seg_ids])
+
+
+def _level_solve_upper(factor: CholeskyFactor, x: np.ndarray) -> None:
+    """Backward solve processing independent columns level by level."""
+    s = factor.symbolic
+    values, row_idx = factor.values, s.row_idx
+    for cols, diag_idx, vidx, seg_ids in reversed(_level_schedule(s)):
+        if vidx.shape[0]:
+            contrib = values[vidx] * x[row_idx[vidx]]
+            sums = np.bincount(seg_ids, weights=contrib, minlength=cols.shape[0])
+            x[cols] = (x[cols] - sums) / values[diag_idx]
+        else:
+            x[cols] = x[cols] / values[diag_idx]
+
+
+# --------------------------------------------------------------------- #
+# Factor-based kernels                                                   #
+# --------------------------------------------------------------------- #
 def sparse_trsv_lower(
-    factor: CholeskyFactor, b: np.ndarray, start_row: int = 0
+    factor: CholeskyFactor, b: np.ndarray, start_row: int = 0, blocked: bool = True
 ) -> np.ndarray:
     """Solve ``L y = b`` for a single right-hand side.
 
@@ -47,10 +189,21 @@ def sparse_trsv_lower(
         First possibly nonzero row of ``b``; earlier rows are skipped, which
         is valid because the forward substitution leaves them identically
         zero.
+    blocked:
+        Use the supernodal panels (level-scheduled when the factor has no
+        panels); ``False`` selects the scalar reference loop.
     """
     s = factor.symbolic
-    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     y = np.array(b, dtype=float, copy=True)
+    if blocked:
+        part = s.supernodes
+        if part is not None:
+            _panel_solve_lower(part, factor.panel_values(), y, start_row=start_row)
+            return y
+        if s.levels is not None:
+            _level_solve_lower(factor, y)
+            return y
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     for j in range(start_row, s.n):
         p0 = col_ptr[j]
         p1 = col_ptr[j + 1]
@@ -61,11 +214,21 @@ def sparse_trsv_lower(
     return y
 
 
-def sparse_trsv_upper(factor: CholeskyFactor, b: np.ndarray) -> np.ndarray:
+def sparse_trsv_upper(
+    factor: CholeskyFactor, b: np.ndarray, blocked: bool = True
+) -> np.ndarray:
     """Solve ``Lᵀ x = b`` for a single right-hand side."""
     s = factor.symbolic
-    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     x = np.array(b, dtype=float, copy=True)
+    if blocked:
+        part = s.supernodes
+        if part is not None:
+            _panel_solve_upper(part, factor.panel_values(), x)
+            return x
+        if s.levels is not None:
+            _level_solve_upper(factor, x)
+            return x
+    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     for j in range(s.n - 1, -1, -1):
         p0 = col_ptr[j]
         p1 = col_ptr[j + 1]
@@ -76,7 +239,10 @@ def sparse_trsv_upper(factor: CholeskyFactor, b: np.ndarray) -> np.ndarray:
 
 
 def sparse_trsm_lower(
-    factor: CholeskyFactor, B: np.ndarray, start_rows: np.ndarray | None = None
+    factor: CholeskyFactor,
+    B: np.ndarray,
+    start_rows: np.ndarray | None = None,
+    blocked: bool = True,
 ) -> np.ndarray:
     """Solve ``L Y = B`` for a dense multi-column right-hand side.
 
@@ -87,84 +253,261 @@ def sparse_trsm_lower(
     B:
         Dense right-hand side, shape ``(n, nrhs)`` (already permuted).
     start_rows:
-        Optional per-column first nonzero row.  Only the global minimum is
-        used to skip leading rows (all columns share the same elimination
-        order); pass the per-column values for bookkeeping/cost purposes.
+        Optional per-column first nonzero row.  Columns are grouped by
+        sorting on their first row and joining the elimination only once it
+        reaches them, so each column skips exactly its own leading zero
+        rows (the ``B̃ᵢ`` sparsity exploitation of the PARDISO path).
+    blocked:
+        Use the supernodal panels; ``False`` selects the scalar loop.
     """
     s = factor.symbolic
-    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     Y = np.array(B, dtype=float, copy=True)
     if Y.ndim != 2 or Y.shape[0] != s.n:
         raise ValueError("B must have shape (n, nrhs)")
-    start = int(start_rows.min()) if start_rows is not None and start_rows.size else 0
-    for j in range(start, s.n):
-        p0 = col_ptr[j]
-        p1 = col_ptr[j + 1]
-        yj = Y[j, :] / values[p0]
-        Y[j, :] = yj
-        if p1 > p0 + 1:
-            Y[row_idx[p0 + 1 : p1], :] -= np.outer(values[p0 + 1 : p1], yj)
+
+    sorted_starts = None
+    order = None
+    if start_rows is not None and start_rows.size:
+        starts = np.asarray(start_rows, dtype=np.int64)
+        if starts.shape[0] != Y.shape[1]:
+            raise ValueError("start_rows must have one entry per column of B")
+        order = np.argsort(starts, kind="stable")
+        Y = Y[:, order]
+        sorted_starts = starts[order]
+
+    part = s.supernodes if blocked else None
+    if part is not None:
+        _panel_solve_lower(part, factor.panel_values(), Y, sorted_starts=sorted_starts)
+    else:
+        _csc_lower_inplace(
+            s.col_ptr, s.row_idx, factor.values, Y, sorted_starts=sorted_starts
+        )
+
+    if order is not None:
+        out = np.empty_like(Y)
+        out[:, order] = Y
+        return out
     return Y
 
 
-def sparse_trsm_upper(factor: CholeskyFactor, B: np.ndarray) -> np.ndarray:
+def sparse_trsm_upper(
+    factor: CholeskyFactor, B: np.ndarray, blocked: bool = True
+) -> np.ndarray:
     """Solve ``Lᵀ X = B`` for a dense multi-column right-hand side."""
     s = factor.symbolic
-    col_ptr, row_idx, values = s.col_ptr, s.row_idx, factor.values
     X = np.array(B, dtype=float, copy=True)
     if X.ndim != 2 or X.shape[0] != s.n:
         raise ValueError("B must have shape (n, nrhs)")
-    for j in range(s.n - 1, -1, -1):
-        p0 = col_ptr[j]
-        p1 = col_ptr[j + 1]
-        if p1 > p0 + 1:
-            X[j, :] -= values[p0 + 1 : p1] @ X[row_idx[p0 + 1 : p1], :]
-        X[j, :] /= values[p0]
+    part = s.supernodes if blocked else None
+    if part is not None:
+        _panel_solve_upper(part, factor.panel_values(), X)
+        return X
+    _csc_upper_inplace(s.col_ptr, s.row_idx, factor.values, X)
     return X
+
+
+# --------------------------------------------------------------------- #
+# Scalar CSC loops (shared by the factor and generic variants)           #
+# --------------------------------------------------------------------- #
+def _csc_lower_inplace(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    Y: np.ndarray,
+    start_row: int = 0,
+    sorted_starts: np.ndarray | None = None,
+) -> None:
+    """Scalar in-place forward solve on (1-D or 2-D) ``Y``.
+
+    With ``sorted_starts`` the columns of a 2-D ``Y`` (pre-sorted by first
+    nonzero row) are activated as the elimination reaches their first row.
+    """
+    n = indptr.shape[0] - 1
+    if sorted_starts is not None:
+        nrhs = Y.shape[1]
+        active = 0
+        first = int(sorted_starts[0]) if nrhs else n
+        for j in range(first, n):
+            while active < nrhs and sorted_starts[active] <= j:
+                active += 1
+            if active == 0:
+                continue
+            p0, p1 = indptr[j], indptr[j + 1]
+            yj = Y[j, :active] / data[p0]
+            Y[j, :active] = yj
+            if p1 > p0 + 1:
+                Y[indices[p0 + 1 : p1], :active] -= np.outer(data[p0 + 1 : p1], yj)
+        return
+    for j in range(start_row, n):
+        p0, p1 = indptr[j], indptr[j + 1]
+        yj = Y[j] / data[p0]
+        Y[j] = yj
+        if p1 > p0 + 1:
+            if Y.ndim == 1:
+                Y[indices[p0 + 1 : p1]] -= data[p0 + 1 : p1] * yj
+            else:
+                Y[indices[p0 + 1 : p1], :] -= np.outer(data[p0 + 1 : p1], yj)
+
+
+def _csc_upper_inplace(
+    indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, X: np.ndarray
+) -> None:
+    """Scalar in-place backward solve on (1-D or 2-D) ``X``."""
+    n = indptr.shape[0] - 1
+    for j in range(n - 1, -1, -1):
+        p0, p1 = indptr[j], indptr[j + 1]
+        if p1 > p0 + 1:
+            X[j] -= data[p0 + 1 : p1] @ X[indices[p0 + 1 : p1]]
+        X[j] /= data[p0]
+
+
+# --------------------------------------------------------------------- #
+# Generic CSC variants with a prepared/cached factor                     #
+# --------------------------------------------------------------------- #
+class PreparedCscFactor:
+    """A lower-triangular factor prepared for repeated triangular solves.
+
+    Preparing converts the matrix to sorted CSC once (the conversion the
+    simulated cuSPARSE TRSM used to repeat on every call) and detects
+    supernode panels directly from the CSC pattern: columns chain while each
+    is the first below-diagonal row of its predecessor and the dense panel
+    over the running below-row union stays within the padding tolerance.
+    Panels are kept only when they actually coarsen the pattern (mean width
+    ≥ ~1.5 columns); otherwise the scalar loops run on the cached arrays.
+    """
+
+    def __init__(
+        self,
+        L: sp.spmatrix,
+        blocked: bool = True,
+        relax: float = RELAX_PADDING,
+        max_width: int = MAX_SUPERNODE,
+    ) -> None:
+        Lc = L.tocsc() if sp.issparse(L) else sp.csc_matrix(L)
+        if not Lc.has_sorted_indices:
+            Lc = Lc.copy()
+            Lc.sort_indices()
+        if Lc.shape[0] != Lc.shape[1]:
+            raise ValueError("factor must be square")
+        self.n = int(Lc.shape[0])
+        self.indptr = np.asarray(Lc.indptr, dtype=np.int64)
+        self.indices = np.asarray(Lc.indices, dtype=np.int64)
+        self.data = np.asarray(Lc.data, dtype=float)
+        self.partition: SupernodePartition | None = None
+        self.panel_data: np.ndarray | None = None
+        if blocked and self.n:
+            self._build_panels(relax, max_width)
+
+    # ------------------------------------------------------------------ #
+    def _build_panels(self, relax: float, max_width: int) -> None:
+        indptr, indices, n = self.indptr, self.indices, self.n
+        boundaries = [0]
+        below_list: list[np.ndarray] = []
+        union = indices[indptr[0] + 1 : indptr[1]]
+        exact = int(indptr[1] - indptr[0])
+        for j in range(n - 1):
+            rows_next = indices[indptr[j + 1] + 1 : indptr[j + 2]]
+            width = j + 2 - boundaries[-1]
+            merge = union.shape[0] > 0 and union[0] == j + 1 and width <= max_width
+            if merge:
+                cand = np.union1d(union[1:], rows_next)
+                exact_next = exact + int(indptr[j + 2] - indptr[j + 1])
+                panel = width * (width + 1) // 2 + width * cand.shape[0]
+                if panel - exact_next > relax * panel:
+                    merge = False
+            if merge:
+                union = cand
+                exact = exact_next
+            else:
+                boundaries.append(j + 1)
+                below_list.append(union)
+                union = rows_next
+                exact = int(indptr[j + 2] - indptr[j + 1])
+        boundaries.append(n)
+        below_list.append(union)
+
+        snode_ptr = np.asarray(boundaries, dtype=np.int64)
+        nsuper = snode_ptr.shape[0] - 1
+        if nsuper > 0.75 * n:  # panels would barely coarsen the column loop
+            return
+        widths = np.diff(snode_ptr)
+        heights = widths + np.array([b.shape[0] for b in below_list], dtype=np.int64)
+        panel_off = np.concatenate(([0], np.cumsum(heights * widths))).astype(np.int64)
+        col_to_snode = np.repeat(np.arange(nsuper, dtype=np.int64), widths)
+
+        lpos = np.empty(self.indices.shape[0], dtype=np.int64)
+        for s in range(nsuper):
+            j0, j1 = int(snode_ptr[s]), int(snode_ptr[s + 1])
+            w = int(widths[s])
+            below = below_list[s]
+            off = int(panel_off[s])
+            for c, j in enumerate(range(j0, j1)):
+                rows = indices[indptr[j] : indptr[j + 1]]
+                loc = _panel_positions(rows, j0, j1, w, below)
+                lpos[indptr[j] : indptr[j + 1]] = off + loc * w + c
+        flat = np.zeros(int(panel_off[-1]))
+        flat[lpos] = self.data
+        self.partition = SupernodePartition(
+            snode_ptr=snode_ptr,
+            col_to_snode=col_to_snode,
+            widths=widths,
+            heights=heights,
+            panel_off=panel_off,
+            below_rows=below_list,
+            lpos=lpos,
+            updates=[[] for _ in range(nsuper)],
+        )
+        self.panel_data = flat
+
+    # ------------------------------------------------------------------ #
+    def solve_lower(self, B: np.ndarray, start_row: int = 0) -> np.ndarray:
+        """Solve ``L Y = B`` (1-D or 2-D right-hand side)."""
+        Y = np.array(B, dtype=float, copy=True)
+        if self.partition is not None:
+            _panel_solve_lower(self.partition, self.panel_data, Y, start_row=start_row)
+        else:
+            _csc_lower_inplace(
+                self.indptr, self.indices, self.data, Y, start_row=start_row
+            )
+        return Y
+
+    def solve_upper(self, B: np.ndarray) -> np.ndarray:
+        """Solve ``Lᵀ X = B`` (1-D or 2-D right-hand side)."""
+        X = np.array(B, dtype=float, copy=True)
+        if self.partition is not None:
+            _panel_solve_upper(self.partition, self.panel_data, X)
+        else:
+            _csc_upper_inplace(self.indptr, self.indices, self.data, X)
+        return X
+
+
+def prepare_csc_factor(L: sp.spmatrix, blocked: bool = True) -> PreparedCscFactor:
+    """Prepare (convert, sort, panel-detect) a lower-triangular factor once."""
+    return PreparedCscFactor(L, blocked=blocked)
 
 
 def csc_trsm_lower(L, B: np.ndarray, start_row: int = 0) -> np.ndarray:
     """Solve ``L Y = B`` for a lower-triangular SciPy CSC matrix.
 
     ``L`` must have sorted indices so that the diagonal entry is the first
-    stored entry of every column.  This generic variant backs the simulated
-    cuSPARSE TRSM kernel, which receives plain CSR/CSC matrices rather than
-    :class:`~repro.sparse.numeric.CholeskyFactor` objects.
+    stored entry of every column, or already be a :class:`PreparedCscFactor`.
+    Callers performing repeated solves should prepare once via
+    :func:`prepare_csc_factor`, which also enables the supernodal panel
+    dispatch; a plain matrix is converted on the fly without panel detection,
+    since panels never amortize over a single solve.  This generic variant
+    backs the simulated cuSPARSE TRSM kernel, which receives plain CSR/CSC
+    matrices rather than :class:`~repro.sparse.numeric.CholeskyFactor`
+    objects.
     """
-    import scipy.sparse as sp
-
-    Lc = sp.csc_matrix(L)
-    Lc.sort_indices()
-    n = Lc.shape[0]
-    indptr, indices, data = Lc.indptr, Lc.indices, Lc.data
-    Y = np.array(B, dtype=float, copy=True)
-    single = Y.ndim == 1
-    if single:
-        Y = Y[:, None]
-    for j in range(start_row, n):
-        p0, p1 = indptr[j], indptr[j + 1]
-        yj = Y[j, :] / data[p0]
-        Y[j, :] = yj
-        if p1 > p0 + 1:
-            Y[indices[p0 + 1 : p1], :] -= np.outer(data[p0 + 1 : p1], yj)
-    return Y[:, 0] if single else Y
+    prepared = (
+        L if isinstance(L, PreparedCscFactor) else PreparedCscFactor(L, blocked=False)
+    )
+    return prepared.solve_lower(B, start_row=start_row)
 
 
 def csc_trsm_upper(L, B: np.ndarray) -> np.ndarray:
     """Solve ``Lᵀ X = B`` given the lower-triangular CSC matrix ``L``."""
-    import scipy.sparse as sp
-
-    Lc = sp.csc_matrix(L)
-    Lc.sort_indices()
-    n = Lc.shape[0]
-    indptr, indices, data = Lc.indptr, Lc.indices, Lc.data
-    X = np.array(B, dtype=float, copy=True)
-    single = X.ndim == 1
-    if single:
-        X = X[:, None]
-    for j in range(n - 1, -1, -1):
-        p0, p1 = indptr[j], indptr[j + 1]
-        if p1 > p0 + 1:
-            X[j, :] -= data[p0 + 1 : p1] @ X[indices[p0 + 1 : p1], :]
-        X[j, :] /= data[p0]
-    return X[:, 0] if single else X
+    prepared = (
+        L if isinstance(L, PreparedCscFactor) else PreparedCscFactor(L, blocked=False)
+    )
+    return prepared.solve_upper(B)

@@ -78,7 +78,7 @@ def test_workload_spec_validation():
 def test_scenario_grid_axes_and_point_count():
     scenario = registry.get("heat_2d_scaling")
     grid = scenario.grid()
-    assert sorted(grid) == ["approach", "batched", "cells", "subdomains"]
+    assert sorted(grid) == ["approach", "batched", "blocked", "cells", "subdomains"]
     assert grid["subdomains"] == [(2, 2), (4, 4)]
     assert scenario.n_points() == 4
 

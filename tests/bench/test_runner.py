@@ -77,13 +77,19 @@ def test_record_filename_sanitizes():
 def test_point_key_format():
     key = point_key((4, 4), 7, DualOperatorApproach.EXPLICIT_HYBRID, False)
     assert key == "4x4/c7/expl hybrid/looped"
+    scalar = point_key((4, 4), 7, DualOperatorApproach.EXPLICIT_HYBRID, True, False)
+    assert scalar == "4x4/c7/expl hybrid/batched/scalar"
 
 
 def test_measure_point_is_cached_and_deterministic():
     scenario = registry.get("smoke_heat_2d")
     spec = scenario.spec_with()
-    a = measure_point(spec, DualOperatorApproach.IMPLICIT_MKL, True, scenario.n_applies)
-    b = measure_point(spec, DualOperatorApproach.IMPLICIT_MKL, True, scenario.n_applies)
+    a = measure_point(
+        spec, DualOperatorApproach.IMPLICIT_MKL, True, n_applies=scenario.n_applies
+    )
+    b = measure_point(
+        spec, DualOperatorApproach.IMPLICIT_MKL, True, n_applies=scenario.n_applies
+    )
     assert a is b  # lru_cache shares points across scenarios and tests
     assert np.all(np.isfinite(a.q))
 
