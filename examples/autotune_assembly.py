@@ -2,13 +2,14 @@
 
 The explicit assembly of the local dual operators has a seven-parameter
 configuration space (Table I).  This example shows both ways of choosing the
-parameters:
+parameters through the :mod:`repro.api` layer:
 
-* the Table-II recommendation implemented by
-  :func:`repro.feti.autotune.recommend_assembly_config`, and
-* a measured exhaustive sweep on the actual problem
-  (:func:`repro.feti.autotune.exhaustive_parameter_search`), which is what
-  the paper did to derive Table II in the first place.
+* declaratively — ``SolverSpec(assembly="table2")`` resolves the paper's
+  Table-II recommendation for the problem at hand, and
+* empirically — :meth:`repro.api.Session.autotune` re-runs the measured
+  exhaustive sweep on the actual problem (which is what the paper did to
+  derive Table II in the first place), with candidate configurations built
+  from plain string values via :func:`repro.api.assembly_config`.
 
 Run with:  python examples/autotune_assembly.py
 """
@@ -16,29 +17,28 @@ Run with:  python examples/autotune_assembly.py
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
-from repro.cluster.topology import MachineConfig
-from repro.decomposition import decompose_box
-from repro.fem.heat import HeatTransferProblem
-from repro.feti.autotune import exhaustive_parameter_search, recommend_assembly_config
-from repro.feti.config import AssemblyConfig, CudaLibraryVersion, FactorStorage, Path, RhsOrder
-from repro.feti.problem import FetiProblem
+from repro.api import Session, SolverSpec, Workload, assembly_config
+from repro.feti.config import CudaLibraryVersion
+
+#: The explicit-GPU approach of each CUDA generation.
+_APPROACHES = {
+    CudaLibraryVersion.LEGACY: "expl legacy",
+    CudaLibraryVersion.MODERN: "expl modern",
+}
 
 
 def main() -> None:
-    decomposition = decompose_box(
-        dim=3, subdomains_per_dim=(2, 1, 1), cells_per_subdomain=5, order=1
-    )
-    problem = FetiProblem.from_physics(
-        HeatTransferProblem(), decomposition, dirichlet_faces=("xmin",)
-    )
-    machine = MachineConfig(threads_per_cluster=4, streams_per_cluster=4)
+    workload = Workload(physics="heat", dim=3, subdomains=(2, 1, 1), cells=5)
+    session = Session(SolverSpec(threads_per_cluster=4, streams_per_cluster=4))
+    problem = session.problem(workload)
     dofs = problem.subdomains[0].ndofs
     print(f"3D heat transfer, {dofs} DOFs per subdomain\n")
 
-    # --- Table II recommendation ------------------------------------------
+    # --- Table II recommendation (assembly="table2", resolved per problem) --
     rows = []
-    for cuda in CudaLibraryVersion:
-        cfg = recommend_assembly_config(cuda, dim=3, dofs_per_subdomain=dofs)
+    for cuda, approach in _APPROACHES.items():
+        spec = SolverSpec(approach=approach, assembly="table2")
+        cfg = spec.resolve_assembly(problem)
         rows.append([cuda.value, cfg.path.value, cfg.forward_factor_storage.value,
                      cfg.forward_factor_order.value, cfg.rhs_order.value])
     print(format_table(
@@ -47,16 +47,14 @@ def main() -> None:
 
     # --- measured sweep -----------------------------------------------------
     candidates = [
-        AssemblyConfig(path=path, forward_factor_storage=storage,
-                       backward_factor_storage=storage, rhs_order=rhs)
-        for path in Path
-        for storage in FactorStorage
-        for rhs in RhsOrder
+        assembly_config(path=path, forward_factor_storage=storage,
+                        backward_factor_storage=storage, rhs_order=rhs)
+        for path in ("trsm", "syrk")
+        for storage in ("sparse", "dense")
+        for rhs in ("row-major", "col-major")
     ]
     for cuda in CudaLibraryVersion:
-        results = exhaustive_parameter_search(
-            problem, cuda, machine_config=machine, configs=candidates
-        )
+        results = session.autotune(workload, cuda, configs=candidates)
         rows = [
             [m.config.path.value, m.config.forward_factor_storage.value,
              m.config.rhs_order.value,

@@ -1,11 +1,16 @@
 """Multi-step linear-elasticity simulation (Algorithm 2 of the paper).
 
 A 2D cantilever under a time-varying body force is solved over several time
-steps.  The mesh (and therefore every sparsity pattern) stays fixed, so the
-symbolic factorizations and the persistent GPU structures are prepared once;
-every step re-runs only the numeric factorization, the explicit assembly of
-the local dual operators ``F̃ᵢ`` on the simulated GPU, and the PCPG solve —
+steps.  The schedule is part of the :class:`~repro.api.Workload` itself:
+``steps=4`` with ``load_ramp=0.5`` scales the loads per step while the mesh
+(and therefore every sparsity pattern) stays fixed, so the symbolic
+factorizations and the persistent GPU structures are prepared once and every
+step re-runs only the numeric factorization, the explicit assembly of the
+local dual operators ``F̃ᵢ`` on the simulated GPU, and the PCPG solve —
 exactly the structure of the paper's multi-step use case.
+
+The ``elasticity-2d-multistep`` workload preset registers this exact
+configuration; here it is written out in full.
 
 Run with:  python examples/elasticity_multistep.py
 """
@@ -15,41 +20,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.decomposition import decompose_box
-from repro.fem.elasticity import LinearElasticityProblem
-from repro.feti.config import DualOperatorApproach
-from repro.feti.pcpg import PcpgOptions
-from repro.feti.problem import FetiProblem
-from repro.feti.solver import FetiSolver, FetiSolverOptions, MultiStepDriver
+from repro.api import Material, Session, SolverSpec, Workload
 
 
 def main() -> None:
-    physics = LinearElasticityProblem(young=200.0, poisson=0.3, body_force=(0.0, -1.0))
-    decomposition = decompose_box(
-        dim=2, subdomains_per_dim=(4, 1), cells_per_subdomain=6, order=2
+    workload = Workload(
+        physics="elasticity",
+        dim=2,
+        subdomains=(4, 1),
+        cells=6,
+        order=2,
+        steps=4,
+        load_ramp=0.5,
+        material=Material(young=200.0, poisson=0.3, body_force=(0.0, -1.0)),
     )
-    problem = FetiProblem.from_physics(physics, decomposition, dirichlet_faces=("xmin",))
-    print(decomposition.summary())
-
-    options = FetiSolverOptions(
-        approach=DualOperatorApproach.EXPLICIT_GPU_LEGACY,
-        pcpg=PcpgOptions(tolerance=1e-8, max_iterations=400),
+    spec = SolverSpec(
+        approach="expl legacy", assembly="table2", tolerance=1e-8, max_iterations=400
     )
-    solver = FetiSolver(problem, options)
 
-    base_loads = [sub.f.copy() for sub in problem.subdomains]
-
-    def update(step: int, feti_problem: FetiProblem) -> None:
-        """Ramp the body force up over the steps (values change, pattern fixed)."""
-        scale = 1.0 + 0.5 * step
-        for sub, base in zip(feti_problem.subdomains, base_loads):
-            sub.f = scale * base
-
-    driver = MultiStepDriver(solver, update=update)
-    records = driver.run(n_steps=4)
+    session = Session(spec)
+    print(session.problem(workload).decomposition.summary())
+    result = session.run(workload)
 
     rows = []
-    for record in records:
+    for record in result.records:
         rows.append(
             [
                 record.step,
@@ -70,13 +64,12 @@ def main() -> None:
     )
     print(
         f"\ntotal simulated dual-operator time: "
-        f"{driver.total_dual_operator_seconds * 1e3:.3f} ms over {len(records)} steps"
+        f"{result.total_dual_operator_seconds * 1e3:.3f} ms over {len(result.records)} steps"
     )
 
-    # Physical sanity: the tip deflection grows with the load.
-    solution = solver.solve(reuse_preprocessing=True)
+    # Physical sanity: the tip deflection under the final (largest) load.
     tip = []
-    for sub, u in zip(problem.subdomains, solution.primal):
+    for sub, u in zip(result.problem.subdomains, result.solution.primal):
         at_tip = np.abs(sub.mesh.coords[:, 0] - 1.0) < 1e-12
         if at_tip.any():
             tip.append(u[1::2][at_tip].min())

@@ -1,14 +1,13 @@
 """Quickstart: solve a 2D heat-transfer problem with Total FETI.
 
-This is the smallest end-to-end use of the public API:
+The public API is three declarative objects:
 
-1. define the physics (steady heat conduction on the unit square),
-2. decompose the domain into subdomains and clusters,
-3. build the torn FETI problem,
-4. solve it with the PCPG iteration using one of the dual-operator
-   approaches from the paper (here: the explicit assembly on the simulated
-   GPU with the Table-II recommended parameters),
-5. inspect the solution and the simulated timing of the dual operator.
+1. a :class:`~repro.api.Workload` — *what* to solve (physics, decomposition,
+   boundary conditions; JSON-serializable, with named presets),
+2. a :class:`~repro.api.SolverSpec` — *how* to solve it (the dual-operator
+   approach from the paper's Table III, tolerances, assembly parameters),
+3. a :class:`~repro.api.Session` — the stateful runner that owns all caches
+   and executes workloads.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,40 +16,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FetiProblem, FetiSolver, FetiSolverOptions, HeatTransferProblem
-from repro.decomposition import decompose_box
-from repro.feti.config import DualOperatorApproach
-from repro.feti.pcpg import PcpgOptions
+from repro.api import Session, SolverSpec, Workload
 
 
 def main() -> None:
-    # 1. Physics: -div(grad u) = 1 on the unit square, u = 0 on the left edge.
-    physics = HeatTransferProblem(conductivity=1.0, source=1.0)
+    # What: steady heat conduction on the unit square, u = 0 on the left
+    # edge, 4x4 subdomains of 8x8 cells grouped into 2 clusters (one
+    # simulated MPI process + GPU per cluster).
+    workload = Workload(physics="heat", dim=2, subdomains=(4, 4), cells=8, n_clusters=2)
 
-    # 2. Decomposition: 4x4 subdomains of 8x8 cells, grouped into 2 clusters
-    #    (one simulated MPI process + GPU per cluster).
-    decomposition = decompose_box(
-        dim=2, subdomains_per_dim=4, cells_per_subdomain=8, order=1, n_clusters=2
+    # How: the explicit GPU dual operator (the paper's contribution) with
+    # the Table-II recommended assembly parameters.
+    spec = SolverSpec(
+        approach="expl modern", assembly="table2", tolerance=1e-9, max_iterations=300
     )
-    print(decomposition.summary())
 
-    # 3. The torn (Total FETI) problem.
-    problem = FetiProblem.from_physics(physics, decomposition, dirichlet_faces=("xmin",))
+    # Run: the session owns the problem, pattern and solver caches.
+    session = Session(spec)
+    solution = session.solve(workload)
+
+    problem = session.problem(workload)
+    print(problem.decomposition.summary())
     print(
         f"subdomains: {problem.n_subdomains}, "
         f"DOFs per subdomain: {problem.subdomains[0].ndofs}, "
         f"Lagrange multipliers: {problem.n_lambda}"
     )
-
-    # 4. Solve with the explicit GPU dual operator (the paper's contribution).
-    options = FetiSolverOptions(
-        approach=DualOperatorApproach.EXPLICIT_GPU_MODERN,
-        pcpg=PcpgOptions(tolerance=1e-9, max_iterations=300),
-    )
-    solver = FetiSolver(problem, options)
-    solution = solver.solve()
-
-    # 5. Results.
     print(f"PCPG converged: {solution.converged} in {solution.iterations} iterations")
     temperatures = np.concatenate(solution.primal)
     print(f"temperature range: [{temperatures.min():.4f}, {temperatures.max():.4f}]")
@@ -59,7 +50,7 @@ def main() -> None:
         f"preprocessing {solution.preprocessing.simulated_seconds * 1e3:.3f} ms, "
         f"all PCPG applications {solution.dual_apply_seconds * 1e3:.3f} ms"
     )
-    print("assembly configuration used:", solver.operator.config.describe())
+    print("assembly configuration used:", session.solver(workload).operator.config.describe())
 
 
 if __name__ == "__main__":

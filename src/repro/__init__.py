@@ -19,6 +19,9 @@ substrate the paper depends on:
 * :mod:`repro.cluster` — cluster topology and the threaded subdomain loop.
 * :mod:`repro.analysis` — timing ledger, sweep engine, amortization and
   reporting helpers used by the benchmark harness.
+* :mod:`repro.api` — the declarative Workload / SolverSpec / Session layer:
+  the single entry point that examples, benches and sweeps configure runs
+  through (owns the cross-solve caches).
 
 The most commonly used classes are re-exported lazily at the package level,
 so ``import repro`` stays cheap and the substrates can be developed and
@@ -34,6 +37,13 @@ from repro._version import __version__
 
 #: Map of lazily re-exported public names to their defining module.
 _LAZY_EXPORTS: dict[str, str] = {
+    # The declarative API layer (the recommended entry point since PR 4).
+    "Material": "repro.api.workload",
+    "Workload": "repro.api.workload",
+    "SolverSpec": "repro.api.spec",
+    "Session": "repro.api.session",
+    "PreconditionerKind": "repro.feti.preconditioner",
+    # Engine-level types.
     "AssemblyConfig": "repro.feti.config",
     "CudaLibraryVersion": "repro.feti.config",
     "DualOperatorApproach": "repro.feti.config",

@@ -1,0 +1,333 @@
+"""The stateful :class:`Session`: the owner of all cross-solve state.
+
+A session binds a default :class:`~repro.api.spec.SolverSpec` to a set of
+caches that previously had no owner above a single ``FetiSolver``:
+
+* one :class:`~repro.sparse.cache.PatternCache` shared by every solver the
+  session builds, so subdomains *and workloads* with equal sparsity
+  patterns pay for exactly one symbolic analysis;
+* the built :class:`~repro.feti.problem.FetiProblem` instances together
+  with their pristine load vectors (restored after multi-step schedules);
+* the prepared :class:`~repro.feti.solver.FetiSolver` instances, keyed by
+  ``(workload, spec)``, so repeated ``solve`` calls reuse symbolic and
+  numeric factorizations, assembled dual operators and persistent GPU
+  structures automatically.
+
+Typical use::
+
+    from repro.api import Session, SolverSpec, Workload
+
+    session = Session(SolverSpec(approach="expl modern", assembly="table2"))
+    solution = session.solve(Workload("heat", 2, (4, 4), 8))
+    result = session.run("elasticity-2d-multistep")   # Algorithm 2
+    print(session.cache_stats())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.spec import SolverSpec
+from repro.api.workload import Workload, build_problem, workload_preset
+from repro.feti.operators.base import DualOperatorBase
+from repro.feti.problem import FetiProblem
+from repro.feti.solver import FetiSolution, FetiSolver, MultiStepDriver, StepRecord
+from repro.sparse.cache import PatternCache
+
+__all__ = ["Session", "SessionStats", "RunResult"]
+
+
+@dataclass
+class SessionStats:
+    """Counters of the work a session performed and the work it avoided."""
+
+    problems_built: int = 0
+    solvers_built: int = 0
+    solver_reuses: int = 0
+    solves: int = 0
+    steps: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything one multi-step :meth:`Session.run` produced."""
+
+    workload: Workload
+    records: list[StepRecord] = field(default_factory=list)
+    #: Solution at the final step's loads.
+    solution: FetiSolution | None = None
+    problem: FetiProblem | None = None
+
+    @property
+    def total_dual_operator_seconds(self) -> float:
+        """Total simulated dual-operator time over all steps."""
+        return sum(r.dual_operator_seconds for r in self.records)
+
+    @property
+    def converged(self) -> bool:
+        """Whether every step converged."""
+        return all(r.converged for r in self.records)
+
+
+class Session:
+    """A cache-owning runner for declarative workloads.
+
+    Parameters
+    ----------
+    spec:
+        Default solver configuration (a :class:`SolverSpec`, a spec preset
+        name, or ``None`` for the defaults).  Every method accepts a
+        per-call ``spec`` override.
+    pattern_cache:
+        The structural pattern cache shared by all solvers of the session;
+        a fresh private cache by default.  Pass
+        :func:`repro.sparse.cache.global_pattern_cache` to share with the
+        process-global one.
+    """
+
+    def __init__(
+        self,
+        spec: SolverSpec | str | None = None,
+        *,
+        pattern_cache: PatternCache | None = None,
+    ) -> None:
+        self.spec = SolverSpec.of(spec)
+        self.pattern_cache = pattern_cache if pattern_cache is not None else PatternCache()
+        self.stats = SessionStats()
+        self._problems: dict[Workload, FetiProblem] = {}
+        self._base_loads: dict[Workload, list[np.ndarray]] = {}
+        self._solvers: dict[tuple[Workload, SolverSpec], FetiSolver] = {}
+        #: Solvers whose numeric factorization may not match the (restored)
+        #: problem values — set after a schedule ran with a custom matrix-
+        #: mutating ``update``; cleared by the next solve, which re-runs the
+        #: preprocessing instead of reusing the stale one.
+        self._stale_solvers: set[tuple[Workload, SolverSpec]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Resolution                                                          #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def resolve_workload(workload: Workload | str | Mapping[str, Any]) -> Workload:
+        """Normalize a workload, a preset name, or a ``to_dict`` mapping."""
+        if isinstance(workload, Workload):
+            return workload
+        if isinstance(workload, str):
+            return workload_preset(workload)
+        if isinstance(workload, Mapping):
+            return Workload.from_dict(workload)
+        raise TypeError(
+            "expected a Workload, a preset name or a workload dict, got "
+            f"{type(workload).__name__}"
+        )
+
+    def _resolve_spec(self, spec: SolverSpec | str | None) -> SolverSpec:
+        return self.spec if spec is None else SolverSpec.of(spec)
+
+    # ------------------------------------------------------------------ #
+    # Cached constructions                                                #
+    # ------------------------------------------------------------------ #
+    def problem(self, workload: Workload | str | Mapping[str, Any]) -> FetiProblem:
+        """The (session-cached) torn FETI problem of a workload."""
+        w = self.resolve_workload(workload)
+        problem = self._problems.get(w)
+        if problem is None:
+            problem = build_problem(w)
+            self._problems[w] = problem
+            self._base_loads[w] = [sub.f.copy() for sub in problem.subdomains]
+            self.stats.problems_built += 1
+        return problem
+
+    def solver(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        spec: SolverSpec | str | None = None,
+    ) -> FetiSolver:
+        """The (session-cached) prepared solver of ``(workload, spec)``."""
+        w = self.resolve_workload(workload)
+        s = self._resolve_spec(spec)
+        key = (w, s)
+        solver = self._solvers.get(key)
+        if solver is None:
+            solver = FetiSolver(self.problem(w), s, pattern_cache=self.pattern_cache)
+            self._solvers[key] = solver
+            self.stats.solvers_built += 1
+        else:
+            self.stats.solver_reuses += 1
+        return solver
+
+    def operator_for(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        spec: SolverSpec | str | None = None,
+    ) -> DualOperatorBase:
+        """The dual operator of ``(workload, spec)`` (built once, not yet run).
+
+        Used by callers that drive the three phases themselves (the bench
+        runner, the operator-comparison example); ``solve``/``run`` callers
+        never need it.
+        """
+        return self.solver(workload, spec).operator
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        spec: SolverSpec | str | None = None,
+    ) -> FetiSolution:
+        """Solve one workload (single solve, loads as declared).
+
+        Repeated calls with the same workload and spec reuse the prepared
+        solver — symbolic analysis, numeric factorization and the assembled
+        dual operator are not recomputed.  The preprocessing is re-run only
+        when a schedule with a custom matrix-mutating ``update`` marked the
+        solver stale (see :meth:`run_steps`).
+        """
+        w = self.resolve_workload(workload)
+        s = self._resolve_spec(spec)
+        solver = self.solver(w, s)
+        self.stats.solves += 1
+        stale = (w, s) in self._stale_solvers
+        solution = solver.solve(reuse_preprocessing=not stale)
+        self._stale_solvers.discard((w, s))
+        return solution
+
+    def _run_schedule(
+        self,
+        w: Workload,
+        spec: SolverSpec | str | None,
+        n_steps: int | None,
+        update: Callable[[int, FetiProblem], None] | None,
+    ) -> tuple[list[StepRecord], FetiSolution | None]:
+        """Drive Algorithm 2 and restore the pristine problem afterwards.
+
+        The built problems are shared process-wide (one instance per
+        workload), so the schedule's mutations must never leak past the
+        run.  The built-in load ramp only touches the load vectors; a
+        custom ``update`` may additionally change stiffness *values*
+        (``K``/``K_reg``, pattern fixed — the MultiStepDriver contract), so
+        those are snapshotted and restored too, and every cached solver of
+        the workload is marked stale so its next solve re-runs the numeric
+        preprocessing instead of reusing the schedule's last factorization.
+        """
+        s = self._resolve_spec(spec)
+        solver = self.solver(w, s)
+        problem = self.problem(w)
+        n = int(n_steps) if n_steps is not None else w.steps
+        base = self._base_loads[w]
+        custom_update = update is not None
+        matrices = (
+            [(sub.K, sub.K.data.copy(), sub.K_reg, sub.K_reg.data.copy())
+             for sub in problem.subdomains]
+            if custom_update
+            else None
+        )
+        if update is None:
+
+            def update(step: int, problem: FetiProblem) -> None:
+                scale = 1.0 + w.load_ramp * step
+                for sub, f0 in zip(problem.subdomains, base):
+                    sub.f = scale * f0
+
+        driver = MultiStepDriver(solver, update=update)
+        try:
+            records = driver.run(n)
+        finally:
+            for sub, f0 in zip(problem.subdomains, base):
+                sub.f = f0.copy()
+            if matrices is not None:
+                for sub, (K, K_data, K_reg, K_reg_data) in zip(
+                    problem.subdomains, matrices
+                ):
+                    sub.K, sub.K_reg = K, K_reg
+                    K.data[:] = K_data
+                    K_reg.data[:] = K_reg_data
+                self._stale_solvers.update(
+                    key for key in self._solvers if key[0] == w
+                )
+        self.stats.steps += n
+        self.stats.solves += n
+        return list(records), driver.last_solution
+
+    def run_steps(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        n_steps: int | None = None,
+        spec: SolverSpec | str | None = None,
+        update: Callable[[int, FetiProblem], None] | None = None,
+    ) -> list[StepRecord]:
+        """Run the multi-step schedule (Algorithm 2) and return its records.
+
+        Without an explicit ``update`` the workload's ``load_ramp`` is
+        applied: step ``s`` solves with loads ``(1 + load_ramp * s) * f``
+        scaled from the pristine base loads.  The loads are restored to
+        their pristine values afterwards, so repeated runs and later
+        ``solve`` calls are deterministic.
+        """
+        w = self.resolve_workload(workload)
+        records, _ = self._run_schedule(w, spec, n_steps, update)
+        return records
+
+    def run(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        spec: SolverSpec | str | None = None,
+    ) -> RunResult:
+        """Run a workload end-to-end: all declared steps plus the solution.
+
+        The returned :class:`RunResult` carries the per-step records and the
+        full solution of the final step (at that step's ramped loads) — no
+        extra solve is run.  The problem's load vectors are restored to
+        their pristine values afterwards, so later ``solve`` calls on the
+        same workload see the declared loads.
+        """
+        w = self.resolve_workload(workload)
+        records, solution = self._run_schedule(w, spec, None, None)
+        return RunResult(
+            workload=w, records=records, solution=solution, problem=self.problem(w)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tuning and introspection                                            #
+    # ------------------------------------------------------------------ #
+    def autotune(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        cuda_library,
+        configs=None,
+        spec: SolverSpec | str | None = None,
+    ):
+        """Exhaustive Table-I parameter search on a workload's problem.
+
+        Thin wrapper over
+        :func:`repro.feti.autotune.exhaustive_parameter_search` using the
+        session's cached problem and the spec's machine resources; returns
+        the measured configurations, best first.
+        """
+        from repro.feti.autotune import exhaustive_parameter_search
+
+        s = self._resolve_spec(spec)
+        return exhaustive_parameter_search(
+            self.problem(workload),
+            cuda_library,
+            machine_config=s.machine_config(),
+            configs=configs,
+        )
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Cache effectiveness of the session (for logs and assertions)."""
+        return {
+            "symbolic_analyses": self.pattern_cache.misses,
+            "pattern_hits": self.pattern_cache.hits,
+            "pattern_hit_rate": self.pattern_cache.hit_rate,
+            "problems": len(self._problems),
+            "solvers": len(self._solvers),
+            "solver_reuses": self.stats.solver_reuses,
+            "solves": self.stats.solves,
+            "steps": self.stats.steps,
+        }

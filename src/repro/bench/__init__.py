@@ -22,7 +22,7 @@ from repro.bench.baseline import (
 )
 from repro.bench.registry import (
     Scenario,
-    WorkloadSpec,
+    Workload,
     build_feti_problem,
     get,
     names,
@@ -44,7 +44,7 @@ from repro.bench.runner import (
 
 __all__ = [
     "Scenario",
-    "WorkloadSpec",
+    "Workload",
     "build_feti_problem",
     "register",
     "get",
@@ -66,3 +66,18 @@ __all__ = [
     "compare_records",
     "compare_directories",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecated aliases kept for the legacy PR-2/3 wiring."""
+    if name == "WorkloadSpec":
+        import warnings
+
+        warnings.warn(
+            "repro.bench.WorkloadSpec is deprecated; use repro.api.Workload "
+            "(same fields, plus steps/load_ramp/material)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Workload
+    raise AttributeError(f"module 'repro.bench' has no attribute {name!r}")

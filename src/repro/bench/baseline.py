@@ -100,6 +100,28 @@ class ComparisonReport:
         self.compared.extend(other.compared)
         self.missing.extend(other.missing)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable report (``repro-bench compare --json``)."""
+        return {
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "compared": list(self.compared),
+            "missing": list(self.missing),
+            "differences": [
+                {
+                    "scenario": d.scenario,
+                    "point": d.point,
+                    "metric": d.metric,
+                    "baseline": d.baseline,
+                    "fresh": d.fresh,
+                    "rel_change": d.rel_change,
+                    "kind": d.kind,
+                    "blocking": d.blocking,
+                }
+                for d in self.differences
+            ],
+        }
+
     def summary(self) -> str:
         """Human-readable report (a table of differences plus a verdict)."""
         lines = []

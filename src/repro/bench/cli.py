@@ -7,11 +7,16 @@ Subcommands
 ``repro-bench run``
     Execute scenarios and write ``BENCH_<scenario>.json`` records into
     ``--output-dir`` (default ``bench-results/``, which is gitignored; point
-    it at the repository root to regenerate committed baselines).
+    it at the repository root to regenerate committed baselines).  With
+    ``--workload <preset-or-json-file>`` it instead runs one ad-hoc
+    workload given as a :class:`repro.api.Workload` preset name or a JSON
+    file of its ``to_dict`` serialization — the same objects the Session
+    API consumes.
 ``repro-bench compare``
     Diff fresh records against committed baselines.  Exit code ``0`` means
     within tolerance, ``1`` means a regression or scenario mismatch, ``2``
-    means a record was missing (setup error).
+    means a record was missing (setup error).  ``--json`` emits the report
+    machine-readably for CI and scripts.
 
 Scenario selection is shared by ``run`` and ``compare``: positional names,
 ``--tag TAG``, or ``--quick`` (shorthand for ``--tag quick``, the CI gate
@@ -47,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run scenarios and write BENCH_*.json records")
     _add_selection(p_run)
     p_run.add_argument(
+        "--workload",
+        help=(
+            "run one ad-hoc workload instead of registered scenarios: a "
+            "repro.api.Workload preset name (e.g. heat-2d-quick) or a JSON "
+            "file of its serialization"
+        ),
+    )
+    p_run.add_argument(
+        "--approach",
+        action="append",
+        help=(
+            "dual-operator approach(es) for --workload (Table-III value, "
+            "e.g. 'expl mkl'; repeatable; default: expl mkl)"
+        ),
+    )
+    p_run.add_argument(
         "-o",
         "--output-dir",
         default="bench-results",
@@ -81,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="relative tolerance on wall-clock metrics (default: not gated)",
+    )
+    p_cmp.add_argument(
+        "--json", action="store_true", help="machine-readable JSON report"
     )
     return parser
 
@@ -155,10 +179,78 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_workload(source: str):
+    """Resolve ``--workload``: a preset name, else a JSON file path."""
+    from pathlib import Path
+
+    from repro.api.workload import Workload, WorkloadError, workload_preset, workload_presets
+
+    path = Path(source)
+    if path.suffix.lower() == ".json" or path.is_file():
+        try:
+            workload = Workload.from_json(path.read_text())
+        except OSError as exc:
+            raise KeyError(f"cannot read workload file {source!r}: {exc}") from exc
+        except WorkloadError as exc:
+            raise KeyError(f"invalid workload in {source!r}: {exc}") from exc
+        return workload, path.stem
+    try:
+        return workload_preset(source), source
+    except KeyError:
+        known = ", ".join(workload_presets())
+        raise KeyError(
+            f"--workload {source!r} is neither a preset name nor a JSON file; "
+            f"registered presets: {known}"
+        ) from None
+
+
+def _workload_scenario(args: argparse.Namespace) -> registry.Scenario:
+    """An ad-hoc scenario wrapping the ``--workload`` argument."""
+    from repro.feti.config import DualOperatorApproach
+
+    workload, stem = _load_workload(args.workload)
+    approaches = tuple(
+        DualOperatorApproach(value) for value in (args.approach or ["expl mkl"])
+    )
+    return registry.Scenario(
+        name=f"workload_{stem}",
+        description=f"ad-hoc workload {args.workload!r} ({workload.describe()})",
+        base=workload,
+        approaches=approaches,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    names = _select(args, default_all=True)
+    if args.approach and not args.workload:
+        print(
+            "error: --approach only applies to an ad-hoc --workload run; "
+            "registered scenarios declare their own approach sweep",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workload:
+        if args.scenarios or args.tag or args.quick:
+            print(
+                "error: --workload runs one ad-hoc workload and cannot be "
+                "combined with scenario names, --tag or --quick",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scenario = _workload_scenario(args)
+        except ValueError as exc:  # unknown approach value
+            from repro.feti.config import DualOperatorApproach
+
+            valid = ", ".join(a.value for a in DualOperatorApproach)
+            print(f"error: {exc} (valid approaches: {valid})", file=sys.stderr)
+            return 2
+        names = [scenario.name]
+        get_scenario = {scenario.name: scenario}.__getitem__
+    else:
+        names = _select(args, default_all=True)
+        get_scenario = registry.get
     for name in names:
-        scenario = registry.get(name)
+        scenario = get_scenario(name)
         print(f"running {name} ({scenario.n_points()} grid points)...", flush=True)
         try:
             result = run_scenario(scenario, check_invariants=not args.no_invariants)
@@ -198,7 +290,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     report = compare_directories(
         args.results, args.baselines, scenario_names=names, tolerances=tolerances
     )
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
     return report.exit_code
 
 

@@ -12,21 +12,27 @@ A scenario's sweep grid always has five axes (``subdomains``, ``cells``,
 ``approach``, ``batched``, ``blocked``); axes not explicitly swept are pinned
 to the base workload values, so a scenario record is a cartesian product
 executed with :func:`repro.analysis.sweep.sweep_configurations`.
+
+Since PR 4 a scenario's base workload *is* a :class:`repro.api.Workload` —
+the same declarative, JSON-serializable object the Session API and
+``repro-bench run --workload`` consume; ``WorkloadSpec`` remains as a
+deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
 from typing import Any
 
-from repro.fem.elasticity import LinearElasticityProblem
-from repro.fem.heat import HeatTransferProblem
+from repro.api.workload import PHYSICS, Workload
+from repro.api.workload import build_problem as build_feti_problem
 from repro.feti.config import DualOperatorApproach
 from repro.feti.problem import FetiProblem
 
 __all__ = [
-    "WorkloadSpec",
+    "PHYSICS",
+    "Workload",
     "Scenario",
     "build_feti_problem",
     "register",
@@ -36,63 +42,20 @@ __all__ = [
     "all_tags",
 ]
 
-#: Physics identifiers accepted by :class:`WorkloadSpec`.
-PHYSICS = ("heat", "elasticity")
-
 _ALL_APPROACHES = tuple(DualOperatorApproach)
 
 
-@dataclass(frozen=True)
-class WorkloadSpec:
-    """One concrete FETI workload (hashable: problems are cached per spec)."""
-
-    physics: str
-    dim: int
-    subdomains: tuple[int, ...]
-    cells: int
-    order: int = 1
-    n_clusters: int = 1
-    dirichlet_faces: tuple[str, ...] = ("xmin",)
-
-    def __post_init__(self) -> None:
-        if self.physics not in PHYSICS:
-            raise ValueError(f"unknown physics {self.physics!r}; expected one of {PHYSICS}")
-        if len(self.subdomains) != self.dim:
-            raise ValueError(
-                f"subdomain grid {self.subdomains} does not match dim={self.dim}"
-            )
-
-    @property
-    def n_subdomains(self) -> int:
-        n = 1
-        for s in self.subdomains:
-            n *= s
-        return n
-
-
-def _make_physics(name: str) -> Any:
-    if name == "heat":
-        return HeatTransferProblem(conductivity=1.0, source=1.0)
-    return LinearElasticityProblem(young=1.0, poisson=0.3)
-
-
-@lru_cache(maxsize=None)
-def build_feti_problem(spec: WorkloadSpec) -> FetiProblem:
-    """Assemble (and cache) the torn FETI problem of one workload spec."""
-    from repro.decomposition import decompose_box
-
-    decomposition = decompose_box(
-        spec.dim,
-        spec.subdomains,
-        spec.cells,
-        order=spec.order,
-        n_clusters=spec.n_clusters,
-    )
-    return FetiProblem.from_physics(
-        _make_physics(spec.physics),
-        decomposition,
-        dirichlet_faces=spec.dirichlet_faces,
-    )
+def __getattr__(name: str) -> Any:
+    """Deprecated aliases kept for the legacy PR-2/3 wiring."""
+    if name == "WorkloadSpec":
+        warnings.warn(
+            "repro.bench.registry.WorkloadSpec is deprecated; use "
+            "repro.api.Workload (same fields, plus steps/load_ramp/material)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Workload
+    raise AttributeError(f"module 'repro.bench.registry' has no attribute {name!r}")
 
 
 @dataclass
@@ -134,7 +97,7 @@ class Scenario:
 
     name: str
     description: str
-    base: WorkloadSpec
+    base: Workload
     approaches: tuple[DualOperatorApproach, ...] = (DualOperatorApproach.EXPLICIT_MKL,)
     batched: tuple[bool, ...] = (True,)
     blocked: tuple[bool, ...] = (True,)
@@ -163,7 +126,7 @@ class Scenario:
 
     def spec_with(
         self, subdomains: tuple[int, ...] | None = None, cells: int | None = None
-    ) -> WorkloadSpec:
+    ) -> Workload:
         """The workload spec of one grid point."""
         spec = self.base
         if subdomains is not None:
@@ -228,7 +191,7 @@ def _register_defaults() -> None:
         Scenario(
             name="smoke_heat_2d",
             description="Smallest end-to-end workload: heat 2D, 2 subdomains, CPU approaches",
-            base=WorkloadSpec("heat", 2, (2, 1), 2),
+            base=Workload("heat", 2, (2, 1), 2),
             approaches=(
                 DualOperatorApproach.IMPLICIT_MKL,
                 DualOperatorApproach.EXPLICIT_MKL,
@@ -242,7 +205,7 @@ def _register_defaults() -> None:
         Scenario(
             name="heat_2d_approaches",
             description="Table III quick gate: all nine approaches, heat 2D, 2x2 subdomains",
-            base=WorkloadSpec("heat", 2, (2, 2), 4),
+            base=Workload("heat", 2, (2, 2), 4),
             approaches=_ALL_APPROACHES,
             tags=frozenset({"quick", "table3"}),
             expected={"n_subdomains": 4, "dofs_per_subdomain": 25, "kernel_dim": 1},
@@ -252,7 +215,7 @@ def _register_defaults() -> None:
         Scenario(
             name="heat_3d_approaches",
             description="All nine approaches, heat 3D, 2x2x1 subdomains",
-            base=WorkloadSpec("heat", 3, (2, 2, 1), 2, dirichlet_faces=("zmin",)),
+            base=Workload("heat", 3, (2, 2, 1), 2, dirichlet_faces=("zmin",)),
             approaches=_ALL_APPROACHES,
             tags=frozenset({"quick", "table3"}),
             expected={"n_subdomains": 4, "dofs_per_subdomain": 27, "kernel_dim": 1},
@@ -262,7 +225,7 @@ def _register_defaults() -> None:
         Scenario(
             name="elasticity_2d_approaches",
             description="Linear elasticity 2D: implicit/explicit CPU, GPU and hybrid",
-            base=WorkloadSpec("elasticity", 2, (2, 1), 3),
+            base=Workload("elasticity", 2, (2, 1), 3),
             approaches=(
                 DualOperatorApproach.IMPLICIT_MKL,
                 DualOperatorApproach.IMPLICIT_CHOLMOD,
@@ -278,7 +241,7 @@ def _register_defaults() -> None:
         Scenario(
             name="elasticity_3d_implicit",
             description="Linear elasticity 3D: implicit CPU/GPU vs explicit CPU",
-            base=WorkloadSpec("elasticity", 3, (2, 1, 1), 2),
+            base=Workload("elasticity", 3, (2, 1, 1), 2),
             approaches=(
                 DualOperatorApproach.IMPLICIT_MKL,
                 DualOperatorApproach.IMPLICIT_GPU_MODERN,
@@ -292,7 +255,7 @@ def _register_defaults() -> None:
         Scenario(
             name="elasticity_2d_quadratic",
             description="Quadratic elements: elasticity 2D, order 2, CPU approaches",
-            base=WorkloadSpec("elasticity", 2, (2, 1), 2, order=2),
+            base=Workload("elasticity", 2, (2, 1), 2, order=2),
             approaches=(
                 DualOperatorApproach.IMPLICIT_MKL,
                 DualOperatorApproach.EXPLICIT_MKL,
@@ -305,7 +268,7 @@ def _register_defaults() -> None:
         Scenario(
             name="heat_2d_scaling",
             description="Subdomain-count scaling: heat 2D, 2x2 vs 4x4 subdomains",
-            base=WorkloadSpec("heat", 2, (2, 2), 4),
+            base=Workload("heat", 2, (2, 2), 4),
             approaches=(
                 DualOperatorApproach.IMPLICIT_MKL,
                 DualOperatorApproach.EXPLICIT_GPU_MODERN,
@@ -319,7 +282,7 @@ def _register_defaults() -> None:
         Scenario(
             name="batched_apply",
             description="Batched subdomain engine vs per-subdomain loop, 64 subdomains",
-            base=WorkloadSpec("heat", 2, (8, 8), 4),
+            base=Workload("heat", 2, (8, 8), 4),
             approaches=(DualOperatorApproach.EXPLICIT_MKL,),
             batched=(True, False),
             n_applies=10,
@@ -331,7 +294,7 @@ def _register_defaults() -> None:
         Scenario(
             name="preprocessing_phase",
             description="Supernodal kernels + pattern cache vs scalar path: Schur assembly, 64 subdomains",
-            base=WorkloadSpec("heat", 2, (8, 8), 8),
+            base=Workload("heat", 2, (8, 8), 8),
             approaches=(DualOperatorApproach.EXPLICIT_MKL,),
             blocked=(True, False),
             n_applies=2,
@@ -343,7 +306,7 @@ def _register_defaults() -> None:
         Scenario(
             name="heat_2d_sizes",
             description="Figure 5/6/7 sweep: heat 2D, subdomain-size grid, all approaches",
-            base=WorkloadSpec("heat", 2, (2, 2), 7),
+            base=Workload("heat", 2, (2, 2), 7),
             approaches=_ALL_APPROACHES,
             cells_grid=(7, 15, 31),
             n_applies=1,
@@ -355,7 +318,7 @@ def _register_defaults() -> None:
         Scenario(
             name="heat_3d_sizes",
             description="Figure 5/6/7 sweep: heat 3D, subdomain-size grid, all approaches",
-            base=WorkloadSpec("heat", 3, (2, 2, 2), 3),
+            base=Workload("heat", 3, (2, 2, 2), 3),
             approaches=_ALL_APPROACHES,
             cells_grid=(3, 5, 8),
             n_applies=1,

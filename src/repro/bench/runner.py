@@ -12,6 +12,11 @@ the baseline comparator can diff across runs and machines.
 Point measurements are cached per (workload, approach, batched, n_applies),
 so scenarios that share grid points — e.g. the Figure-5 sweep feeding
 Figures 6 and 7 — never re-measure.
+
+Every measurement is constructed through :mod:`repro.api`: one
+:class:`~repro.api.session.Session` per grid point, so each point owns a
+private pattern cache (it pays its own symbolic-analysis cost) while the
+built problems stay shared through the workload-level problem cache.
 """
 
 from __future__ import annotations
@@ -32,10 +37,12 @@ import numpy as np
 
 from repro._version import __version__
 from repro.analysis.sweep import SweepResult, sweep_configurations
-from repro.bench.registry import Scenario, WorkloadSpec, build_feti_problem
+from repro.api.session import Session
+from repro.api.spec import SolverSpec
+from repro.api.workload import Workload
+from repro.bench.registry import Scenario
 from repro.cluster.topology import MachineConfig
 from repro.feti.config import DualOperatorApproach
-from repro.feti.operators import make_dual_operator
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -87,7 +94,7 @@ class PointMeasurement:
 
 @lru_cache(maxsize=None)
 def measure_point(
-    spec: WorkloadSpec,
+    spec: Workload,
     approach: DualOperatorApproach,
     batched: bool = True,
     blocked: bool = True,
@@ -97,16 +104,21 @@ def measure_point(
 
     Simulated times come from the operator's timing ledger; wall-clock times
     wrap the real execution of prepare+preprocess and of the ``n_applies``
-    application loop (mean per apply).  The pattern cache is cleared before
-    every measurement so each point pays its own symbolic-analysis cost.
+    application loop (mean per apply).  Each point runs in its own
+    :class:`~repro.api.session.Session` with a private pattern cache, so it
+    pays its own symbolic-analysis cost.
     """
-    from repro.sparse.cache import global_pattern_cache
-
-    global_pattern_cache().clear()
-    problem = build_feti_problem(spec)
-    operator = make_dual_operator(
-        approach, problem, machine_config=RUNNER_MACHINE, batched=batched, blocked=blocked
+    session = Session(
+        SolverSpec(
+            approach=approach,
+            batched=batched,
+            blocked=blocked,
+            threads_per_cluster=RUNNER_MACHINE.threads_per_cluster,
+            streams_per_cluster=RUNNER_MACHINE.streams_per_cluster,
+        )
     )
+    problem = session.problem(spec)
+    operator = session.operator_for(spec)
     wall0 = time.perf_counter()
     operator.prepare()
     operator.preprocess()

@@ -59,6 +59,7 @@ def make_dual_operator(
     assembly_config: AssemblyConfig | None = None,
     batched: bool = True,
     blocked: bool = True,
+    pattern_cache=None,
 ) -> DualOperatorBase:
     """Instantiate one of the nine Table-III dual-operator approaches.
 
@@ -84,6 +85,10 @@ def make_dual_operator(
         Run the sparse layer through the supernodal/blocked kernels and the
         shared pattern cache (:mod:`repro.sparse`).  Numerically identical;
         the scalar per-column kernels are the reference fallback.
+    pattern_cache:
+        Caller-owned :class:`~repro.sparse.cache.PatternCache` for the
+        symbolic analysis (a :class:`repro.api.Session` passes its own);
+        ``None`` keeps the sparse layer's default cache selection.
     """
     config = machine_config or MachineConfig()
     cuda = approach.cuda_library
@@ -91,39 +96,36 @@ def make_dual_operator(
         config = config.with_cuda(cuda.cuda_version)
     machine = Machine.for_decomposition(problem.decomposition, config)
     assembly = assembly_config or AssemblyConfig()
+    kwargs = {"batched": batched, "blocked": blocked, "pattern_cache": pattern_cache}
 
     if approach is DualOperatorApproach.IMPLICIT_MKL:
         return ImplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched, blocked=blocked
+            problem, machine, library=CpuLibrary.MKL_PARDISO, **kwargs
         )
     if approach is DualOperatorApproach.IMPLICIT_CHOLMOD:
         return ImplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched, blocked=blocked
+            problem, machine, library=CpuLibrary.CHOLMOD, **kwargs
         )
     if approach is DualOperatorApproach.EXPLICIT_MKL:
         return ExplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.MKL_PARDISO, batched=batched, blocked=blocked
+            problem, machine, library=CpuLibrary.MKL_PARDISO, **kwargs
         )
     if approach is DualOperatorApproach.EXPLICIT_CHOLMOD:
         return ExplicitCpuDualOperator(
-            problem, machine, library=CpuLibrary.CHOLMOD, batched=batched, blocked=blocked
+            problem, machine, library=CpuLibrary.CHOLMOD, **kwargs
         )
     if approach in (
         DualOperatorApproach.IMPLICIT_GPU_LEGACY,
         DualOperatorApproach.IMPLICIT_GPU_MODERN,
     ):
-        return ImplicitGpuDualOperator(
-            problem, machine, approach=approach, batched=batched, blocked=blocked
-        )
+        return ImplicitGpuDualOperator(problem, machine, approach=approach, **kwargs)
     if approach in (
         DualOperatorApproach.EXPLICIT_GPU_LEGACY,
         DualOperatorApproach.EXPLICIT_GPU_MODERN,
     ):
         return ExplicitGpuDualOperator(
-            problem, machine, approach=approach, config=assembly, batched=batched, blocked=blocked
+            problem, machine, approach=approach, config=assembly, **kwargs
         )
     if approach is DualOperatorApproach.EXPLICIT_HYBRID:
-        return HybridDualOperator(
-            problem, machine, config=assembly, batched=batched, blocked=blocked
-        )
+        return HybridDualOperator(problem, machine, config=assembly, **kwargs)
     raise ValueError(f"unknown approach: {approach}")

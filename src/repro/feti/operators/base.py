@@ -21,6 +21,7 @@ from repro.cluster.topology import ClusterResources, Machine
 from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators.batch import SubdomainBatchEngine
 from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.sparse.cache import PatternCache
 from repro.sparse.solvers import SparseSolverBase
 
 __all__ = ["DualOperatorBase"]
@@ -39,6 +40,7 @@ class DualOperatorBase(abc.ABC):
         config: AssemblyConfig | None = None,
         batched: bool = True,
         blocked: bool = True,
+        pattern_cache: PatternCache | None = None,
     ) -> None:
         self.problem = problem
         self.machine = machine
@@ -53,6 +55,12 @@ class DualOperatorBase(abc.ABC):
         #: scalar per-column reference kernels without pattern sharing.
         #: Both paths are numerically identical.
         self.blocked = blocked
+        #: Caller-owned pattern cache for the sparse symbolic analysis (a
+        #: :class:`repro.api.Session` passes its own); ``None`` keeps the
+        #: sparse layer's default (the process-global cache when blocked).
+        #: The scalar reference path never uses a cache so it stays a
+        #: faithful per-subdomain baseline.
+        self.pattern_cache = pattern_cache if blocked else None
         self.ledger = TimingLedger()
         self._prepared = False
         self._preprocessed = False

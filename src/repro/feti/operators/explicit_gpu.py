@@ -100,8 +100,11 @@ class ExplicitGpuDualOperator(DualOperatorBase):
         config: AssemblyConfig | None = None,
         batched: bool = True,
         blocked: bool = True,
+        pattern_cache=None,
     ) -> None:
-        super().__init__(problem, machine, config, batched=batched, blocked=blocked)
+        super().__init__(
+            problem, machine, config, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+        )
         if approach not in (
             DualOperatorApproach.EXPLICIT_GPU_LEGACY,
             DualOperatorApproach.EXPLICIT_GPU_MODERN,
@@ -109,7 +112,8 @@ class ExplicitGpuDualOperator(DualOperatorBase):
             raise ValueError(f"not an explicit GPU approach: {approach}")
         self.approach = approach
         self._cpu_solvers = {
-            s.index: CholmodLikeSolver(blocked=blocked) for s in problem.subdomains
+            s.index: CholmodLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
         self._cluster_state: dict[int, _ClusterState] = {}

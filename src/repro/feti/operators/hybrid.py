@@ -40,15 +40,23 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         config: AssemblyConfig | None = None,
         batched: bool = True,
         blocked: bool = True,
+        pattern_cache=None,
     ) -> None:
         # Bypass the ExplicitGpuDualOperator constructor: the hybrid approach
         # owns PARDISO-like CPU solvers and never uploads factors.
         DualOperatorBase.__init__(
-            self, problem, machine, config, batched=batched, blocked=blocked
+            self,
+            problem,
+            machine,
+            config,
+            batched=batched,
+            blocked=blocked,
+            pattern_cache=pattern_cache,
         )
         self.approach = DualOperatorApproach.EXPLICIT_HYBRID
         self._cpu_solvers = {
-            s.index: PardisoLikeSolver(blocked=blocked) for s in problem.subdomains
+            s.index: PardisoLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
         self._cluster_state: dict[int, _ClusterState] = {}

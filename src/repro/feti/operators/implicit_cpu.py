@@ -33,8 +33,11 @@ class ImplicitCpuDualOperator(DualOperatorBase):
         library: CpuLibrary = CpuLibrary.MKL_PARDISO,
         batched: bool = True,
         blocked: bool = True,
+        pattern_cache=None,
     ) -> None:
-        super().__init__(problem, machine, batched=batched, blocked=blocked)
+        super().__init__(
+            problem, machine, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+        )
         self.library = library
         self.approach = (
             DualOperatorApproach.IMPLICIT_MKL
@@ -45,7 +48,8 @@ class ImplicitCpuDualOperator(DualOperatorBase):
             PardisoLikeSolver if library is CpuLibrary.MKL_PARDISO else CholmodLikeSolver
         )
         self._cpu_solvers = {
-            s.index: solver_cls(blocked=blocked) for s in problem.subdomains
+            s.index: solver_cls(blocked=blocked, pattern_cache=self.pattern_cache)
+            for s in problem.subdomains
         }
 
     # ------------------------------------------------------------------ #

@@ -49,8 +49,11 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_GPU_MODERN,
         batched: bool = True,
         blocked: bool = True,
+        pattern_cache=None,
     ) -> None:
-        super().__init__(problem, machine, batched=batched, blocked=blocked)
+        super().__init__(
+            problem, machine, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+        )
         if approach not in (
             DualOperatorApproach.IMPLICIT_GPU_LEGACY,
             DualOperatorApproach.IMPLICIT_GPU_MODERN,
@@ -58,7 +61,8 @@ class ImplicitGpuDualOperator(DualOperatorBase):
             raise ValueError(f"not an implicit GPU approach: {approach}")
         self.approach = approach
         self._cpu_solvers = {
-            s.index: CholmodLikeSolver(blocked=blocked) for s in problem.subdomains
+            s.index: CholmodLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
 

@@ -16,6 +16,8 @@ constraint sets on structured decompositions.
 
 from __future__ import annotations
 
+import enum
+
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
@@ -23,10 +25,24 @@ import scipy.sparse.linalg as spla
 from repro.feti.problem import FetiProblem
 
 __all__ = [
+    "PreconditionerKind",
     "IdentityPreconditioner",
     "LumpedPreconditioner",
     "DirichletPreconditioner",
 ]
+
+
+class PreconditionerKind(enum.Enum):
+    """Dual preconditioners selectable through the solver options.
+
+    (Historically exported from :mod:`repro.feti.solver`; it lives here so
+    the :mod:`repro.api` spec layer can use it without importing the
+    solver.)
+    """
+
+    NONE = "none"
+    LUMPED = "lumped"
+    DIRICHLET = "dirichlet"
 
 
 class IdentityPreconditioner:

@@ -11,9 +11,9 @@ computed from a real run.
 
 from __future__ import annotations
 
-import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -27,9 +27,14 @@ from repro.feti.preconditioner import (
     DirichletPreconditioner,
     IdentityPreconditioner,
     LumpedPreconditioner,
+    PreconditionerKind,
 )
 from repro.feti.problem import FetiProblem
 from repro.feti.projector import Projector
+from repro.sparse.cache import PatternCache
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.api imports repro.feti)
+    from repro.api.spec import SolverSpec
 
 __all__ = [
     "PreconditionerKind",
@@ -40,40 +45,17 @@ __all__ = [
 ]
 
 
-class PreconditionerKind(enum.Enum):
-    """Dual preconditioners selectable through the solver options."""
-
-    NONE = "none"
-    LUMPED = "lumped"
-    DIRICHLET = "dirichlet"
-
-
 @dataclass(frozen=True)
 class FetiSolverOptions:
-    """Options of the FETI solver.
+    """Deprecated legacy options of the FETI solver.
 
-    Attributes
-    ----------
-    approach:
-        Dual-operator approach (Table III).
-    preconditioner:
-        Dual preconditioner used by PCPG.
-    pcpg:
-        Iteration options.
-    machine_config:
-        Per-cluster resources (threads, streams, CUDA generation, cost
-        models).
-    assembly_config:
-        Explicit-assembly parameters (Table I).  ``None`` selects the
-        Table-II recommendation automatically for GPU approaches.
-    batched:
-        Drive the dual operator through the batched subdomain execution
-        engine (the default); ``False`` selects the per-subdomain reference
-        loops.
-    blocked:
-        Run the sparse layer through the supernodal/blocked kernels and the
-        shared pattern cache (the default); ``False`` selects the scalar
-        per-column reference kernels.
+    .. deprecated::
+        Build a :class:`repro.api.SolverSpec` instead (see the README
+        migration guide).  This shim converts itself via :meth:`to_spec`
+        and preserves the historical semantics — in particular an
+        ``assembly_config`` on an approach that ignores it is silently
+        dropped, and ``assembly_config=None`` on a GPU approach selects the
+        Table-II recommendation automatically.
     """
 
     approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_MKL
@@ -83,6 +65,40 @@ class FetiSolverOptions:
     assembly_config: AssemblyConfig | None = None
     batched: bool = True
     blocked: bool = True
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "FetiSolverOptions is deprecated; build a repro.api.SolverSpec "
+            "instead (see the README migration guide)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def to_spec(self) -> "SolverSpec":
+        """The equivalent :class:`repro.api.SolverSpec`.
+
+        Mirrors the legacy behavior exactly: explicit-GPU approaches without
+        an ``assembly_config`` get the Table-II auto-recommendation, and an
+        ``assembly_config`` on an approach that never consumes it is dropped
+        (the old wiring silently ignored it).
+        """
+        from repro.api.spec import SolverSpec
+
+        consumes_assembly = self.approach.is_explicit and self.approach.uses_gpu
+        assembly: AssemblyConfig | str | None = None
+        if consumes_assembly:
+            assembly = self.assembly_config if self.assembly_config is not None else "table2"
+        return SolverSpec(
+            approach=self.approach,
+            preconditioner=self.preconditioner,
+            tolerance=self.pcpg.tolerance,
+            max_iterations=self.pcpg.max_iterations,
+            absolute_tolerance=self.pcpg.absolute_tolerance,
+            machine=self.machine_config,
+            assembly=assembly,
+            batched=self.batched,
+            blocked=self.blocked,
+        )
 
 
 @dataclass
@@ -109,44 +125,73 @@ class FetiSolution:
 
 
 class FetiSolver:
-    """Total FETI solver driven by a configurable dual operator."""
+    """Total FETI solver driven by a configurable dual operator.
+
+    Parameters
+    ----------
+    problem:
+        The torn FETI problem.
+    options:
+        A :class:`repro.api.SolverSpec` (or a spec preset name); the legacy
+        :class:`FetiSolverOptions` is still accepted and converted.
+    pattern_cache:
+        Optional :class:`~repro.sparse.cache.PatternCache` shared across
+        solvers — a :class:`repro.api.Session` passes its own so symbolic
+        analysis is amortized across workloads; ``None`` keeps the
+        process-global cache of the sparse layer.
+    """
 
     def __init__(
-        self, problem: FetiProblem, options: FetiSolverOptions | None = None
+        self,
+        problem: FetiProblem,
+        options: "SolverSpec | FetiSolverOptions | str | None" = None,
+        *,
+        pattern_cache: PatternCache | None = None,
     ) -> None:
-        self.problem = problem
-        self.options = options or FetiSolverOptions()
-        assembly = self.options.assembly_config
-        if assembly is None and self.options.approach.uses_gpu:
-            from repro.feti.autotune import recommend_assembly_config
+        from repro.api.spec import SolverSpec
 
-            first = problem.subdomains[0]
-            cuda = self.options.approach.cuda_library
-            assembly = recommend_assembly_config(
-                cuda_library=cuda,
-                dim=problem.decomposition.dim,
-                dofs_per_subdomain=first.ndofs,
-            )
+        self.problem = problem
+        if isinstance(options, FetiSolverOptions):
+            spec = options.to_spec()
+        else:
+            spec = SolverSpec.of(options)
+        self.spec = spec
+        #: Normalized options (always a :class:`SolverSpec` since PR 4).
+        self.options = spec
         self.operator: DualOperatorBase = make_dual_operator(
-            self.options.approach,
+            spec.approach,
             problem,
-            machine_config=self.options.machine_config,
-            assembly_config=assembly,
-            batched=self.options.batched,
-            blocked=self.options.blocked,
+            machine_config=spec.machine_config(),
+            assembly_config=spec.resolve_assembly(problem),
+            batched=spec.batched,
+            blocked=spec.blocked,
+            pattern_cache=pattern_cache,
         )
-        self.projector = Projector(problem.assemble_G())
-        self.preconditioner = self._make_preconditioner()
+        self._projector: Projector | None = None
+        self._preconditioner = None
         self._prepared = False
 
     # ------------------------------------------------------------------ #
-    def _make_preconditioner(self):
-        kind = self.options.preconditioner
-        if kind is PreconditionerKind.NONE:
-            return IdentityPreconditioner(self.problem)
-        if kind is PreconditionerKind.LUMPED:
-            return LumpedPreconditioner(self.problem)
-        return DirichletPreconditioner(self.problem)
+    @property
+    def projector(self) -> Projector:
+        """The coarse projector (built lazily: callers that only need the
+        dual operator — e.g. the bench runner — never assemble ``G``)."""
+        if self._projector is None:
+            self._projector = Projector(self.problem.assemble_G())
+        return self._projector
+
+    @property
+    def preconditioner(self):
+        """The dual preconditioner selected by the spec (built lazily)."""
+        if self._preconditioner is None:
+            kind = self.spec.preconditioner
+            if kind is PreconditionerKind.NONE:
+                self._preconditioner = IdentityPreconditioner(self.problem)
+            elif kind is PreconditionerKind.LUMPED:
+                self._preconditioner = LumpedPreconditioner(self.problem)
+            else:
+                self._preconditioner = DirichletPreconditioner(self.problem)
+        return self._preconditioner
 
     def prepare(self) -> PhaseTiming:
         """Run the preparation phase of the dual operator."""
@@ -186,7 +231,7 @@ class FetiSolver:
             apply_M=self.preconditioner.apply,
             d=d,
             lambda_0=lambda_0,
-            options=self.options.pcpg,
+            options=self.spec.pcpg_options(),
         )
         apply_phases = self.operator.ledger.phases
         dual_apply_seconds = sum(
@@ -252,6 +297,8 @@ class MultiStepDriver:
         self.solver = solver
         self.update = update
         self.records: list[StepRecord] = []
+        #: Full solution of the most recent step (records keep only timings).
+        self.last_solution: FetiSolution | None = None
 
     def run(self, n_steps: int) -> list[StepRecord]:
         """Run ``n_steps`` time steps and return their records."""
@@ -260,6 +307,7 @@ class MultiStepDriver:
             if self.update is not None:
                 self.update(step, self.solver.problem)
             solution = self.solver.solve()
+            self.last_solution = solution
             self.records.append(
                 StepRecord(
                     step=step,

@@ -1,0 +1,203 @@
+"""Tests of the declarative Workload layer: validation, presets, round-trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Material,
+    Workload,
+    WorkloadError,
+    build_problem,
+    workload_preset,
+    workload_presets,
+)
+
+# --------------------------------------------------------------------- #
+# Validation                                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_validation_rejects_unknown_physics():
+    with pytest.raises(WorkloadError, match="unknown physics 'plasma'"):
+        Workload("plasma", 2, (2, 2), 4)
+
+
+def test_validation_rejects_grid_dim_mismatch():
+    with pytest.raises(WorkloadError, match="one grid extent per dimension"):
+        Workload("heat", 3, (2, 2), 4)
+
+
+@pytest.mark.parametrize(
+    ("changes", "match"),
+    [
+        ({"dim": 4, "subdomains": (1, 1, 1, 1)}, "dim must be 2 or 3"),
+        ({"subdomains": (0, 2)}, "must be >= 1"),
+        ({"cells": 0}, "cells must be >= 1"),
+        ({"order": 3}, "order must be 1"),
+        ({"n_clusters": 9}, "n_clusters must lie in"),
+        ({"dirichlet_faces": ("zmin",)}, "unknown Dirichlet face 'zmin' for dim=2"),
+        ({"dirichlet_faces": ()}, "at least one box face"),
+        ({"steps": 0}, "steps must be >= 1"),
+        ({"load_ramp": float("inf")}, "load_ramp must be finite"),
+    ],
+)
+def test_validation_errors_are_actionable(changes, match):
+    base = dict(physics="heat", dim=2, subdomains=(2, 2), cells=4)
+    base.update(changes)
+    with pytest.raises(WorkloadError, match=match):
+        Workload(**base)
+
+
+def test_n_clusters_must_divide_the_subdomain_count():
+    with pytest.raises(WorkloadError, match="must divide the subdomain count"):
+        Workload("heat", 2, (3, 1), 2, n_clusters=2)
+    assert Workload("heat", 2, (4, 1), 2, n_clusters=2).n_clusters == 2
+
+
+def test_fractional_numeric_fields_are_rejected_not_truncated():
+    with pytest.raises(WorkloadError, match="whole number"):
+        Workload("heat", 2, (2, 2), 4.9)
+    with pytest.raises(WorkloadError, match="whole number"):
+        Workload("heat", 2, (2.7, 2), 4)
+    with pytest.raises(WorkloadError, match="whole number"):
+        Workload("heat", 2, (2, 2), 4, steps=1.5)
+
+
+def test_string_sequences_are_rejected_not_char_split():
+    with pytest.raises(WorkloadError, match=r"got the string '44'"):
+        Workload("heat", 2, "44", 4)  # type: ignore[arg-type]
+    with pytest.raises(WorkloadError, match="subdomains must be an integer"):
+        Workload("heat", 2, ("4,4", "2"), 4)  # type: ignore[arg-type]
+    with pytest.raises(WorkloadError, match="sequence of integers"):
+        Workload("heat", 2, 4, 4)  # type: ignore[arg-type]
+    with pytest.raises(WorkloadError, match=r"got the string 'xmin'"):
+        Workload("heat", 2, (2, 2), 4, dirichlet_faces="xmin")  # type: ignore[arg-type]
+
+
+def test_material_validation():
+    with pytest.raises(WorkloadError, match="poisson"):
+        Material(poisson=0.5)
+    with pytest.raises(WorkloadError, match="body_force"):
+        Material(body_force=(1.0,))
+    with pytest.raises(WorkloadError, match="conductivity"):
+        Material(conductivity=0.0)
+
+
+def test_coercion_accepts_lists_and_dict_material():
+    w = Workload(
+        "heat",
+        2,
+        [2, 1],  # type: ignore[arg-type]
+        3,
+        dirichlet_faces=["xmin", "ymax"],  # type: ignore[arg-type]
+        material={"conductivity": 2.0},  # type: ignore[arg-type]
+    )
+    assert w.subdomains == (2, 1)
+    assert w.dirichlet_faces == ("xmin", "ymax")
+    assert w.material == Material(conductivity=2.0)
+    assert hash(w) == hash(w.with_())
+
+
+# --------------------------------------------------------------------- #
+# Serialization round-trip                                               #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", workload_presets())
+def test_every_preset_round_trips_through_dict_and_json(name):
+    w = workload_preset(name)
+    assert Workload.from_dict(w.to_dict()) == w
+    assert Workload.from_json(w.to_json()) == w
+    assert Workload.from_preset(name) is w
+
+
+def test_from_dict_rejects_unknown_and_missing_fields():
+    with pytest.raises(WorkloadError, match=r"unknown workload field\(s\) \['flux'\]"):
+        Workload.from_dict({"physics": "heat", "dim": 2, "subdomains": [2, 1], "cells": 2, "flux": 1})
+    with pytest.raises(WorkloadError, match="missing the required field 'cells'"):
+        Workload.from_dict({"physics": "heat", "dim": 2, "subdomains": [2, 1]})
+    with pytest.raises(WorkloadError, match="not parseable"):
+        Workload.from_json("{nope")
+
+
+@st.composite
+def workloads(draw) -> Workload:
+    """A fuzzed corpus of *valid* workloads."""
+    dim = draw(st.integers(2, 3))
+    subdomains = tuple(draw(st.integers(1, 3)) for _ in range(dim))
+    n_sub = 1
+    for s in subdomains:
+        n_sub *= s
+    faces = ("xmin", "xmax", "ymin", "ymax") + (("zmin", "zmax") if dim == 3 else ())
+    dirichlet = tuple(
+        draw(st.lists(st.sampled_from(faces), min_size=1, max_size=3, unique=True))
+    )
+    material = Material(
+        conductivity=draw(st.floats(0.1, 10.0)),
+        source=draw(st.floats(0.1, 5.0)),
+        young=draw(st.floats(1.0, 300.0)),
+        poisson=draw(st.floats(0.0, 0.45)),
+        body_force=draw(
+            st.one_of(
+                st.none(),
+                st.tuples(st.floats(-2.0, 2.0), st.floats(-2.0, 2.0)),
+            )
+        ),
+    )
+    return Workload(
+        physics=draw(st.sampled_from(("heat", "elasticity"))),
+        dim=dim,
+        subdomains=subdomains,
+        cells=draw(st.integers(1, 8)),
+        order=draw(st.sampled_from((1, 2))),
+        n_clusters=draw(st.sampled_from([d for d in range(1, n_sub + 1) if n_sub % d == 0])),
+        dirichlet_faces=dirichlet,
+        steps=draw(st.integers(1, 5)),
+        load_ramp=draw(st.floats(-0.5, 2.0)),
+        material=material,
+    )
+
+
+@given(workloads())
+@settings(max_examples=150, deadline=None)
+def test_fuzzed_workloads_round_trip(w: Workload):
+    assert Workload.from_dict(w.to_dict()) == w
+    assert Workload.from_json(w.to_json()) == w
+    # The round-tripped copy is interchangeable as a cache key.
+    assert hash(Workload.from_dict(w.to_dict())) == hash(w)
+
+
+# --------------------------------------------------------------------- #
+# Presets and problem construction                                       #
+# --------------------------------------------------------------------- #
+
+
+def test_unknown_preset_lists_known_names():
+    with pytest.raises(KeyError, match="heat-2d-quick"):
+        workload_preset("no-such-preset")
+
+
+def test_build_problem_is_cached_and_matches_workload():
+    w = workload_preset("heat-2d-quick")
+    problem = build_problem(w)
+    assert problem is build_problem(w)
+    assert problem is w.build_problem()
+    assert problem.n_subdomains == w.n_subdomains
+    assert problem.decomposition.dim == w.dim
+
+
+def test_material_reaches_the_assembled_problem():
+    base = Workload("heat", 2, (2, 1), 2)
+    scaled = base.with_(material=Material(conductivity=3.0))
+    K0 = build_problem(base).subdomains[0].K
+    K3 = build_problem(scaled).subdomains[0].K
+    assert abs(K3.toarray() - 3.0 * K0.toarray()).max() < 1e-12
+
+
+def test_describe_mentions_the_schedule():
+    w = workload_preset("heat-2d-multistep")
+    assert "steps" in w.describe()
+    assert w.steps == 3 and w.load_ramp == 0.5

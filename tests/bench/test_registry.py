@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import registry
-from repro.bench.registry import Scenario, WorkloadSpec
+from repro.bench.registry import Scenario, Workload
 from repro.feti.config import DualOperatorApproach
 from repro.feti.operators import (
     ExplicitCpuDualOperator,
@@ -70,9 +70,15 @@ def test_register_rejects_duplicate_names():
 
 def test_workload_spec_validation():
     with pytest.raises(ValueError, match="unknown physics"):
-        WorkloadSpec("plasma", 2, (2, 2), 4)
-    with pytest.raises(ValueError, match="does not match dim"):
-        WorkloadSpec("heat", 3, (2, 2), 4)
+        Workload("plasma", 2, (2, 2), 4)
+    with pytest.raises(ValueError, match="dim=3"):
+        Workload("heat", 3, (2, 2), 4)
+
+
+def test_workload_spec_alias_is_deprecated():
+    with pytest.warns(DeprecationWarning, match="WorkloadSpec is deprecated"):
+        from repro.bench.registry import WorkloadSpec
+    assert WorkloadSpec is Workload
 
 
 def test_scenario_grid_axes_and_point_count():
@@ -120,7 +126,7 @@ def test_custom_scenario_roundtrip():
     scenario = Scenario(
         name="tmp_custom",
         description="ad-hoc",
-        base=WorkloadSpec("heat", 2, (1, 2), 2),
+        base=Workload("heat", 2, (1, 2), 2),
     )
     assert scenario.grid()["subdomains"] == [(1, 2)]
     assert scenario.n_points() == 1

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.bench import registry
-from repro.bench.registry import Scenario, WorkloadSpec
+from repro.bench.registry import Scenario, Workload
 from repro.bench.runner import (
     SCHEMA_VERSION,
     InvariantViolation,
@@ -99,7 +99,7 @@ def test_derived_speedup_present_only_with_both_batched_variants(smoke_result):
     mini = Scenario(
         name="tmp_batched_mini",
         description="batched-vs-looped on the smoke workload",
-        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        base=Workload("heat", 2, (2, 1), 2),
         batched=(True, False),
         n_applies=2,
     )
@@ -113,7 +113,7 @@ def test_expected_invariant_violation_raises():
     bad = Scenario(
         name="tmp_bad_expected",
         description="declares the wrong subdomain count",
-        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        base=Workload("heat", 2, (2, 1), 2),
         n_applies=1,
         expected={"n_subdomains": 99},
     )
@@ -128,7 +128,7 @@ def test_unknown_expected_invariant_key_raises():
     bad = Scenario(
         name="tmp_bad_key",
         description="declares an unknown invariant",
-        base=WorkloadSpec("heat", 2, (2, 1), 2),
+        base=Workload("heat", 2, (2, 1), 2),
         n_applies=1,
         expected={"n_gpus": 1},
     )
