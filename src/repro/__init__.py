@@ -43,6 +43,10 @@ _LAZY_EXPORTS: dict[str, str] = {
     "SolverSpec": "repro.api.spec",
     "Session": "repro.api.session",
     "PreconditionerKind": "repro.feti.preconditioner",
+    # The parallel runtime (PR 5).
+    "ExecutionSpec": "repro.runtime.executor",
+    "ShardPlan": "repro.runtime.shard",
+    "SolveQueue": "repro.runtime.queue",
     # Engine-level types.
     "AssemblyConfig": "repro.feti.config",
     "CudaLibraryVersion": "repro.feti.config",

@@ -25,9 +25,10 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -36,7 +37,11 @@ from repro.api.workload import Workload, build_problem, workload_preset
 from repro.feti.operators.base import DualOperatorBase
 from repro.feti.problem import FetiProblem
 from repro.feti.solver import FetiSolution, FetiSolver, MultiStepDriver, StepRecord
+from repro.runtime.executor import ExecutionSpec, Executor, make_executor
 from repro.sparse.cache import PatternCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.queue import SolveQueue
 
 __all__ = ["Session", "SessionStats", "RunResult"]
 
@@ -106,6 +111,26 @@ class Session:
         #: mutating ``update``; cleared by the next solve, which re-runs the
         #: preprocessing instead of reusing the stale one.
         self._stale_solvers: set[tuple[Workload, SolverSpec]] = set()
+        #: Re-entrant lock guarding every session cache, so the ``threads``
+        #: execution backend (and :class:`~repro.runtime.queue.SolveQueue`
+        #: traffic) can share one session without corrupting the problem /
+        #: solver maps or the stats counters.
+        self._cache_lock = threading.RLock()
+        #: Per-workload execution locks: a workload's problem (its load
+        #: vectors) and its prepared solvers are stateful, so concurrent
+        #: solves of one workload — from any number of queues or direct
+        #: ``solve`` calls — must serialize, while different workloads
+        #: overlap.  Owned by the session (not a queue) so every consumer
+        #: shares one lock per workload.
+        self._workload_locks: dict[Workload, threading.RLock] = {}
+        #: Runtime executors owned by this session, one per execution spec;
+        #: created on demand, closed by :meth:`close`.
+        self._executors: dict[ExecutionSpec, Executor] = {}
+        self._closed = False
+        # Warm the default spec's executor now: worker pools start before
+        # any measured phase, so pool start-up never lands inside a
+        # benchmark's preprocessing wall time.
+        self.executor().warm()
 
     # ------------------------------------------------------------------ #
     # Resolution                                                          #
@@ -127,19 +152,102 @@ class Session:
     def _resolve_spec(self, spec: SolverSpec | str | None) -> SolverSpec:
         return self.spec if spec is None else SolverSpec.of(spec)
 
+    def resolve_spec(self, spec: SolverSpec | str | None) -> SolverSpec:
+        """Normalize a per-call spec (``None`` = the session default)."""
+        return self._resolve_spec(spec)
+
+    def workload_lock(self, workload: Workload | str | Mapping[str, Any]) -> threading.RLock:
+        """The session-wide execution lock of one workload.
+
+        Re-entrant, created on demand; every in-process consumer that runs
+        a solve or mutates a workload's loads holds it, so concurrent
+        queues and direct ``solve`` calls can never interleave on one
+        workload's shared state.
+        """
+        w = self.resolve_workload(workload)
+        with self._cache_lock:
+            lock = self._workload_locks.get(w)
+            if lock is None:
+                lock = threading.RLock()
+                self._workload_locks[w] = lock
+            return lock
+
+    # ------------------------------------------------------------------ #
+    # Executor lifecycle                                                  #
+    # ------------------------------------------------------------------ #
+    def executor_for(self, spec: SolverSpec | str | None = None) -> Executor:
+        """The session-owned executor of a spec's execution backend.
+
+        One executor is kept per distinct :class:`~repro.runtime.executor.
+        ExecutionSpec`; pools are created on first use and shut down by
+        :meth:`close` (or the session's context-manager exit).
+        """
+        s = self._resolve_spec(spec)
+        execution = s.resolve_execution()
+        with self._cache_lock:
+            if self._closed:
+                raise RuntimeError("the session has been closed")
+            executor = self._executors.get(execution)
+            if executor is None:
+                executor = make_executor(execution)
+                self._executors[execution] = executor
+            return executor
+
+    def executor(self) -> Executor:
+        """The executor of the session's default spec."""
+        return self.executor_for(None)
+
+    def queue(self, spec: SolverSpec | str | None = None) -> "SolveQueue":
+        """A :class:`~repro.runtime.queue.SolveQueue` over this session.
+
+        The queue schedules many ``(workload, spec, rhs)`` requests across
+        the executor of ``spec`` (the session default when omitted) — the
+        concurrent "many users" serving path.
+        """
+        from repro.runtime.queue import SolveQueue
+
+        return SolveQueue(self, executor=self.executor_for(spec))
+
+    def close(self) -> None:
+        """Shut down the session's worker pools (idempotent).
+
+        The caches survive — a closed session can still resolve problems —
+        but no further parallel work can be dispatched.
+        """
+        with self._cache_lock:
+            executors = list(self._executors.values())
+            self._executors.clear()
+            self._closed = True
+        for executor in executors:
+            executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Cached constructions                                                #
     # ------------------------------------------------------------------ #
     def problem(self, workload: Workload | str | Mapping[str, Any]) -> FetiProblem:
         """The (session-cached) torn FETI problem of a workload."""
         w = self.resolve_workload(workload)
-        problem = self._problems.get(w)
-        if problem is None:
-            problem = build_problem(w)
-            self._problems[w] = problem
-            self._base_loads[w] = [sub.f.copy() for sub in problem.subdomains]
-            self.stats.problems_built += 1
-        return problem
+        with self._cache_lock:
+            problem = self._problems.get(w)
+            if problem is None:
+                problem = build_problem(w)
+                self._problems[w] = problem
+                self._base_loads[w] = [sub.f.copy() for sub in problem.subdomains]
+                self.stats.problems_built += 1
+            return problem
+
+    def base_loads(self, workload: Workload | str | Mapping[str, Any]) -> list[np.ndarray]:
+        """The pristine load vectors of a workload's problem."""
+        w = self.resolve_workload(workload)
+        self.problem(w)
+        with self._cache_lock:
+            return self._base_loads[w]
 
     def solver(
         self,
@@ -150,14 +258,20 @@ class Session:
         w = self.resolve_workload(workload)
         s = self._resolve_spec(spec)
         key = (w, s)
-        solver = self._solvers.get(key)
-        if solver is None:
-            solver = FetiSolver(self.problem(w), s, pattern_cache=self.pattern_cache)
-            self._solvers[key] = solver
-            self.stats.solvers_built += 1
-        else:
-            self.stats.solver_reuses += 1
-        return solver
+        with self._cache_lock:
+            solver = self._solvers.get(key)
+            if solver is None:
+                solver = FetiSolver(
+                    self.problem(w),
+                    s,
+                    pattern_cache=self.pattern_cache,
+                    executor=self.executor_for(s),
+                )
+                self._solvers[key] = solver
+                self.stats.solvers_built += 1
+            else:
+                self.stats.solver_reuses += 1
+            return solver
 
     def operator_for(
         self,
@@ -190,12 +304,13 @@ class Session:
         """
         w = self.resolve_workload(workload)
         s = self._resolve_spec(spec)
-        solver = self.solver(w, s)
-        self.stats.solves += 1
-        stale = (w, s) in self._stale_solvers
-        solution = solver.solve(reuse_preprocessing=not stale)
-        self._stale_solvers.discard((w, s))
-        return solution
+        with self.workload_lock(w):
+            solver = self.solver(w, s)
+            with self._cache_lock:
+                self.stats.solves += 1
+                stale = (w, s) in self._stale_solvers
+                self._stale_solvers.discard((w, s))
+            return solver.solve(reuse_preprocessing=not stale)
 
     def _run_schedule(
         self,
@@ -216,6 +331,16 @@ class Session:
         preprocessing instead of reusing the schedule's last factorization.
         """
         s = self._resolve_spec(spec)
+        with self.workload_lock(w):
+            return self._run_schedule_locked(w, s, n_steps, update)
+
+    def _run_schedule_locked(
+        self,
+        w: Workload,
+        s: SolverSpec,
+        n_steps: int | None,
+        update: Callable[[int, FetiProblem], None] | None,
+    ) -> tuple[list[StepRecord], FetiSolution | None]:
         solver = self.solver(w, s)
         problem = self.problem(w)
         n = int(n_steps) if n_steps is not None else w.steps
@@ -247,11 +372,13 @@ class Session:
                     sub.K, sub.K_reg = K, K_reg
                     K.data[:] = K_data
                     K_reg.data[:] = K_reg_data
-                self._stale_solvers.update(
-                    key for key in self._solvers if key[0] == w
-                )
-        self.stats.steps += n
-        self.stats.solves += n
+                with self._cache_lock:
+                    self._stale_solvers.update(
+                        key for key in self._solvers if key[0] == w
+                    )
+        with self._cache_lock:
+            self.stats.steps += n
+            self.stats.solves += n
         return list(records), driver.last_solution
 
     def run_steps(

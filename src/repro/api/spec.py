@@ -42,6 +42,7 @@ from repro.feti.config import (
 from repro.feti.pcpg import PcpgOptions
 from repro.feti.preconditioner import PreconditionerKind
 from repro.feti.problem import FetiProblem
+from repro.runtime.executor import ExecutionError, ExecutionSpec
 
 __all__ = [
     "SpecError",
@@ -150,6 +151,12 @@ class SolverSpec:
         Drive the apply phase through the batched subdomain engine.
     blocked:
         Run the sparse layer through the supernodal kernels + pattern cache.
+    execution:
+        The runtime backend the preprocessing shards and queued solves run
+        on: an :class:`~repro.runtime.executor.ExecutionSpec`, a backend
+        string (``"processes"``, ``"threads:4"``), a ``{"backend", "workers"}``
+        dict, or ``None`` for the process-wide default (``REPRO_EXECUTOR`` /
+        ``REPRO_WORKERS``, serial when unset).
     machine:
         Advanced escape hatch: a full :class:`MachineConfig` (custom cost
         models).  Mutually exclusive with ``threads_per_cluster`` /
@@ -166,6 +173,7 @@ class SolverSpec:
     assembly: AssemblyConfig | str | None = None
     batched: bool = True
     blocked: bool = True
+    execution: ExecutionSpec | str | None = None
     machine: MachineConfig | None = None
 
     def __post_init__(self) -> None:
@@ -203,6 +211,11 @@ class SolverSpec:
                     raise SpecError(f"{name} must be >= 1, got {value!r}")
         object.__setattr__(self, "batched", bool(self.batched))
         object.__setattr__(self, "blocked", bool(self.blocked))
+        if self.execution is not None:
+            try:
+                object.__setattr__(self, "execution", ExecutionSpec.of(self.execution))
+            except ExecutionError as exc:
+                raise SpecError(str(exc)) from None
         if self.machine is not None and (
             self.threads_per_cluster is not None or self.streams_per_cluster is not None
         ):
@@ -236,6 +249,21 @@ class SolverSpec:
             max_iterations=self.max_iterations,
             absolute_tolerance=self.absolute_tolerance,
         )
+
+    def resolve_execution(self) -> ExecutionSpec:
+        """The concrete execution backend of this spec.
+
+        ``execution=None`` resolves to the process-wide default from
+        ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` (serial when unset) at call
+        time, so the spec's identity (hashing, caching, serialization) does
+        not depend on the environment.
+        """
+        from repro.runtime.executor import default_execution
+
+        if self.execution is None:
+            return default_execution()
+        assert isinstance(self.execution, ExecutionSpec)
+        return self.execution
 
     def machine_config(self) -> MachineConfig | None:
         """The per-cluster resource description (``None`` = library default)."""
@@ -293,6 +321,7 @@ class SolverSpec:
             "assembly": assembly,
             "batched": self.batched,
             "blocked": self.blocked,
+            "execution": None if self.execution is None else self.execution.to_dict(),
         }
 
     @classmethod

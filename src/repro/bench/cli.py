@@ -33,7 +33,12 @@ from collections.abc import Sequence
 
 from repro.bench import registry
 from repro.bench.baseline import Tolerances, compare_directories
-from repro.bench.runner import InvariantViolation, run_scenario, write_record
+from repro.bench.runner import (
+    InvariantViolation,
+    PointTimeout,
+    run_scenario,
+    write_record,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -77,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-invariants",
         action="store_true",
         help="skip the scenario invariant checks (shape + operator consistency)",
+    )
+    p_run.add_argument(
+        "--executor",
+        choices=["serial", "threads", "processes"],
+        help=(
+            "force one runtime execution backend for every measured point "
+            "(replaces the scenarios' own execution axis; point keys gain "
+            "the executor suffix, so compare ad-hoc runs against each other, "
+            "not against committed baselines)"
+        ),
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        help="worker count for --executor (default: the host's CPU count)",
+    )
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock budget; a point that does not finish "
+            "(e.g. a hung pool worker) aborts the run with exit code 2"
+        ),
     )
 
     p_cmp = sub.add_parser("compare", help="diff fresh records against baselines")
@@ -220,6 +249,21 @@ def _workload_scenario(args: argparse.Namespace) -> registry.Scenario:
     )
 
 
+def _resolve_executor_override(args: argparse.Namespace):
+    """The forced execution axis of ``--executor/--workers`` (or ``None``)."""
+    from repro.runtime.executor import ExecutionSpec, default_workers
+
+    if args.executor is None:
+        if args.workers is not None:
+            raise KeyError("--workers requires --executor")
+        return None
+    workers = (
+        args.workers if args.workers is not None else default_workers(args.executor)
+    )
+    spec = ExecutionSpec(args.executor, workers)  # validates the combination
+    return (None,) if spec.backend == "serial" else (spec,)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.approach and not args.workload:
         print(
@@ -227,6 +271,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "registered scenarios declare their own approach sweep",
             file=sys.stderr,
         )
+        return 2
+    from repro.runtime.executor import ExecutionError
+
+    try:
+        executor_override = _resolve_executor_override(args)
+    except ExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.workload:
         if args.scenarios or args.tag or args.quick:
@@ -251,11 +302,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         get_scenario = registry.get
     for name in names:
         scenario = get_scenario(name)
+        if executor_override is not None:
+            from dataclasses import replace as dc_replace
+
+            scenario = dc_replace(scenario, execution=executor_override)
         print(f"running {name} ({scenario.n_points()} grid points)...", flush=True)
         try:
-            result = run_scenario(scenario, check_invariants=not args.no_invariants)
+            result = run_scenario(
+                scenario,
+                check_invariants=not args.no_invariants,
+                point_timeout=args.timeout,
+            )
         except InvariantViolation as exc:
             print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+            return 2
+        except PointTimeout as exc:
+            print(f"POINT TIMEOUT: {exc}", file=sys.stderr)
             return 2
         path = write_record(result.record, args.output_dir)
         print(f"  wrote {path}")

@@ -29,6 +29,7 @@ from repro.api.workload import PHYSICS, Workload
 from repro.api.workload import build_problem as build_feti_problem
 from repro.feti.config import DualOperatorApproach
 from repro.feti.problem import FetiProblem
+from repro.runtime.executor import ExecutionSpec
 
 __all__ = [
     "PHYSICS",
@@ -79,6 +80,13 @@ class Scenario:
         Values of the sparse-kernel toggle to sweep (the ``blocked`` axis);
         ``(True, False)`` benchmarks the supernodal kernels + pattern cache
         against the scalar per-column reference path.
+    execution:
+        Runtime execution backends to sweep (the ``execution`` axis):
+        ``None`` is the serial reference, an
+        :class:`~repro.runtime.executor.ExecutionSpec` selects a sharded
+        worker pool — sweeping e.g. ``(None, ExecutionSpec("threads", 4),
+        ExecutionSpec("processes", 4))`` measures the wall-clock scaling of
+        the preprocessing phase over worker counts.
     subdomain_grid:
         Optional sweep axis over subdomain grids (``base.subdomains`` if
         unset).
@@ -101,6 +109,7 @@ class Scenario:
     approaches: tuple[DualOperatorApproach, ...] = (DualOperatorApproach.EXPLICIT_MKL,)
     batched: tuple[bool, ...] = (True,)
     blocked: tuple[bool, ...] = (True,)
+    execution: tuple[ExecutionSpec | None, ...] = (None,)
     subdomain_grid: tuple[tuple[int, ...], ...] | None = None
     cells_grid: tuple[int, ...] | None = None
     n_applies: int = 3
@@ -108,13 +117,14 @@ class Scenario:
     expected: dict[str, int] = field(default_factory=dict)
 
     def grid(self) -> dict[str, list[Any]]:
-        """The cartesian sweep grid of the scenario (five fixed axes)."""
+        """The cartesian sweep grid of the scenario (six fixed axes)."""
         return {
             "subdomains": list(self.subdomain_grid or (self.base.subdomains,)),
             "cells": list(self.cells_grid or (self.base.cells,)),
             "approach": list(self.approaches),
             "batched": list(self.batched),
             "blocked": list(self.blocked),
+            "execution": list(self.execution),
         }
 
     def n_points(self) -> int:
@@ -299,6 +309,24 @@ def _register_defaults() -> None:
             blocked=(True, False),
             n_applies=2,
             tags=frozenset({"quick", "wall", "preprocessing"}),
+            expected={"n_subdomains": 64, "dofs_per_subdomain": 81, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="parallel_scaling",
+            description="Runtime executor scaling: preprocessing wall time over worker counts, 64 subdomains",
+            base=Workload("heat", 2, (8, 8), 8),
+            approaches=(DualOperatorApproach.EXPLICIT_MKL,),
+            execution=(
+                None,
+                ExecutionSpec("threads", 2),
+                ExecutionSpec("threads", 4),
+                ExecutionSpec("processes", 2),
+                ExecutionSpec("processes", 4),
+            ),
+            n_applies=2,
+            tags=frozenset({"quick", "wall", "runtime", "scaling"}),
             expected={"n_subdomains": 64, "dofs_per_subdomain": 81, "kernel_dim": 1},
         )
     )

@@ -43,11 +43,13 @@ from repro.api.workload import Workload
 from repro.bench.registry import Scenario
 from repro.cluster.topology import MachineConfig
 from repro.feti.config import DualOperatorApproach
+from repro.runtime.executor import ExecutionSpec
 
 __all__ = [
     "SCHEMA_VERSION",
     "RUNNER_MACHINE",
     "InvariantViolation",
+    "PointTimeout",
     "PointMeasurement",
     "ScenarioResult",
     "measure_point",
@@ -76,6 +78,15 @@ class InvariantViolation(AssertionError):
     """A scenario invariant failed (shape mismatch or operator divergence)."""
 
 
+class PointTimeout(RuntimeError):
+    """One grid point exceeded the per-point wall-clock budget.
+
+    Raised by :func:`run_scenario` when ``point_timeout`` is set — a hung
+    pool worker then fails the run fast instead of stalling CI until the
+    job-level timeout.
+    """
+
+
 @dataclass
 class PointMeasurement:
     """Measurements of one grid point (one operator on one workload)."""
@@ -99,14 +110,18 @@ def measure_point(
     batched: bool = True,
     blocked: bool = True,
     n_applies: int = 3,
+    execution: ExecutionSpec | None = None,
 ) -> PointMeasurement:
-    """Measure one (workload, approach, batched, blocked) point (cached).
+    """Measure one (workload, approach, batched, blocked, execution) point.
 
     Simulated times come from the operator's timing ledger; wall-clock times
     wrap the real execution of prepare+preprocess and of the ``n_applies``
     application loop (mean per apply).  Each point runs in its own
     :class:`~repro.api.session.Session` with a private pattern cache, so it
-    pays its own symbolic-analysis cost.
+    pays its own symbolic-analysis cost.  ``execution`` selects the runtime
+    backend of the point (``None`` = the serial reference); the session
+    warms the worker pool at construction — before the timed region — and
+    shuts it down when the measurement is done.
     """
     session = Session(
         SolverSpec(
@@ -115,21 +130,25 @@ def measure_point(
             blocked=blocked,
             threads_per_cluster=RUNNER_MACHINE.threads_per_cluster,
             streams_per_cluster=RUNNER_MACHINE.streams_per_cluster,
+            execution=execution if execution is not None else ExecutionSpec(),
         )
     )
-    problem = session.problem(spec)
-    operator = session.operator_for(spec)
-    wall0 = time.perf_counter()
-    operator.prepare()
-    operator.preprocess()
-    wall_preprocessing = time.perf_counter() - wall0
+    try:
+        problem = session.problem(spec)
+        operator = session.operator_for(spec)
+        wall0 = time.perf_counter()
+        operator.prepare()
+        operator.preprocess()
+        wall_preprocessing = time.perf_counter() - wall0
 
-    rng = np.random.default_rng(_APPLY_SEED)
-    x = rng.standard_normal(problem.n_lambda)
-    wall0 = time.perf_counter()
-    for _ in range(max(1, n_applies)):
-        q = operator.apply(x)
-    wall_apply = (time.perf_counter() - wall0) / max(1, n_applies)
+        rng = np.random.default_rng(_APPLY_SEED)
+        x = rng.standard_normal(problem.n_lambda)
+        wall0 = time.perf_counter()
+        for _ in range(max(1, n_applies)):
+            q = operator.apply(x)
+        wall_apply = (time.perf_counter() - wall0) / max(1, n_applies)
+    finally:
+        session.close()
 
     return PointMeasurement(
         n_subdomains=problem.n_subdomains,
@@ -151,15 +170,22 @@ def point_key(
     approach: DualOperatorApproach,
     batched: bool,
     blocked: bool = True,
+    execution: ExecutionSpec | None = None,
 ) -> str:
     """Stable human-readable identity of a grid point (used for pairing).
 
-    The ``blocked=True`` default leaves historical keys unchanged; scalar
-    sparse-kernel points are suffixed with ``/scalar``.
+    The ``blocked=True`` / ``execution=None`` defaults leave historical keys
+    unchanged; scalar sparse-kernel points are suffixed with ``/scalar`` and
+    sharded runtime points with the executor short form (e.g.
+    ``/processes4``).
     """
     grid = "x".join(str(s) for s in subdomains)
     key = f"{grid}/c{cells}/{approach.value}/{'batched' if batched else 'looped'}"
-    return key if blocked else key + "/scalar"
+    if not blocked:
+        key += "/scalar"
+    if execution is not None and execution.parallel:
+        key += f"/{execution.describe()}"
+    return key
 
 
 @dataclass
@@ -171,8 +197,18 @@ class ScenarioResult:
     record: dict[str, Any]
 
 
-def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioResult:
-    """Execute a scenario's full grid and build its benchmark record."""
+def run_scenario(
+    scenario: Scenario,
+    check_invariants: bool = True,
+    point_timeout: float | None = None,
+) -> ScenarioResult:
+    """Execute a scenario's full grid and build its benchmark record.
+
+    ``point_timeout`` bounds every grid point's wall-clock time: a point
+    that does not finish (e.g. a hung pool worker) raises
+    :class:`PointTimeout` instead of stalling the run — CI's benchmark gate
+    sets it so a wedged runtime worker fails fast.
+    """
     qs: dict[tuple[Any, ...], np.ndarray] = {}
 
     def measure(
@@ -181,12 +217,19 @@ def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioR
         approach: DualOperatorApproach,
         batched: bool,
         blocked: bool,
+        execution: ExecutionSpec | None,
     ) -> dict[str, Any]:
         spec = scenario.spec_with(subdomains, cells)
-        m = measure_point(spec, approach, batched, blocked, scenario.n_applies)
-        qs[(subdomains, cells, approach, batched, blocked)] = m.q
+        args = (spec, approach, batched, blocked, scenario.n_applies, execution)
+        if point_timeout is not None:
+            m = _measure_with_timeout(
+                args, point_timeout, point_key(subdomains, cells, approach, batched, blocked, execution)
+            )
+        else:
+            m = measure_point(*args)
+        qs[(subdomains, cells, approach, batched, blocked, execution)] = m.q
         return {
-            "key": point_key(subdomains, cells, approach, batched, blocked),
+            "key": point_key(subdomains, cells, approach, batched, blocked, execution),
             "n_subdomains": m.n_subdomains,
             "n_lambda": m.n_lambda,
             "dofs_per_subdomain": m.dofs_per_subdomain,
@@ -206,22 +249,51 @@ def run_scenario(scenario: Scenario, check_invariants: bool = True) -> ScenarioR
     return ScenarioResult(scenario=scenario, sweep=sweep, record=record)
 
 
+def _measure_with_timeout(args: tuple, timeout: float, key: str) -> PointMeasurement:
+    """Run one point measurement under a wall-clock budget.
+
+    The measurement runs on a watchdog thread so the caller can give up
+    after ``timeout`` seconds.  The abandoned measurement (and any pool it
+    started) is left to the interpreter's cleanup — the point of the budget
+    is to fail the CI job fast, not to recover.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    watchdog = ThreadPoolExecutor(max_workers=1, thread_name_prefix="bench-watchdog")
+    future = watchdog.submit(measure_point, *args)
+    try:
+        result = future.result(timeout=timeout)
+    except FutureTimeout:
+        future.cancel()
+        # wait=False: never block on the wedged measurement thread — the
+        # budget exists to fail the job fast.
+        watchdog.shutdown(wait=False)
+        raise PointTimeout(
+            f"grid point {key} exceeded the per-point timeout of "
+            f"{timeout:g} s (hung worker?)"
+        ) from None
+    watchdog.shutdown(wait=True)
+    return result
+
+
 def _check_operator_consistency(
     scenario: Scenario, qs: dict[tuple[Any, ...], np.ndarray]
 ) -> None:
-    """All approaches of one workload must compute the same dual operator."""
+    """Every approach — and every runtime backend — of one workload must
+    compute the same dual operator (parallel results identical to serial)."""
     reference: dict[tuple[Any, ...], tuple[Any, ...]] = {}
-    for (subdomains, cells, approach, batched, blocked), q in qs.items():
+    for (subdomains, cells, approach, batched, blocked, execution), q in qs.items():
         workload = (subdomains, cells)
         if workload not in reference:
-            reference[workload] = (approach, batched, blocked)
+            reference[workload] = (approach, batched, blocked, execution)
             continue
         ref_point = reference[workload]
         ref_q = qs[(*workload, *ref_point)]
         if not np.allclose(q, ref_q, rtol=1e-7, atol=1e-8):
             raise InvariantViolation(
                 f"scenario {scenario.name!r}: "
-                f"{point_key(subdomains, cells, approach, batched, blocked)} diverges from "
+                f"{point_key(subdomains, cells, approach, batched, blocked, execution)} diverges from "
                 f"{point_key(subdomains, cells, *ref_point)} "
                 f"(max |Δ| = {np.max(np.abs(q - ref_q)):.3e})"
             )
@@ -254,6 +326,7 @@ def _check_expected(scenario: Scenario) -> None:
 def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
     points = []
     for r in sweep.records:
+        execution = r["execution"]
         points.append(
             {
                 "key": r["key"],
@@ -262,6 +335,7 @@ def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
                 "approach": r["approach"].value,
                 "batched": bool(r["batched"]),
                 "blocked": bool(r["blocked"]),
+                "execution": None if execution is None else execution.to_dict(),
                 "invariants": {
                     "n_subdomains": r["n_subdomains"],
                     "n_lambda": r["n_lambda"],
@@ -313,13 +387,38 @@ def _derived_metrics(sweep: SweepResult) -> dict[str, float]:
     derived: dict[str, float] = {}
     by_apply: dict[tuple[Any, ...], dict[bool, float]] = {}
     by_preproc: dict[tuple[Any, ...], dict[bool, float]] = {}
+    by_execution: dict[tuple[Any, ...], dict[Any, float]] = {}
     for r in sweep.records:
+        if r["execution"] is not None and r["execution"].parallel:
+            # Parallel points only feed the executor-scaling metric below;
+            # mixing them into the batched/blocked pairings would pair a
+            # sharded run against a serial reference of the other toggle.
+            variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"])
+            by_execution.setdefault(variant, {})[r["execution"]] = r[
+                "wall_preprocessing_seconds"
+            ]
+            continue
         apply_variant = (r["subdomains"], r["cells"], r["approach"], r["blocked"])
         by_apply.setdefault(apply_variant, {})[r["batched"]] = r["wall_apply_seconds"]
         preproc_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"])
         by_preproc.setdefault(preproc_variant, {})[r["blocked"]] = r[
             "wall_preprocessing_seconds"
         ]
+        exec_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"])
+        by_execution.setdefault(exec_variant, {})[None] = r["wall_preprocessing_seconds"]
+    for (subdomains, cells, approach, batched, blocked), walls in by_execution.items():
+        serial_wall = walls.get(None)
+        if serial_wall is None:
+            continue
+        for execution, wall in walls.items():
+            if execution is None or wall <= 0.0:
+                continue
+            grid = "x".join(str(s) for s in subdomains)
+            key = (
+                "wall_preprocessing_speedup"
+                f"[{grid}/c{cells}/{approach.value}/{execution.describe()}]"
+            )
+            derived[key] = serial_wall / wall
     for (subdomains, cells, approach, blocked), walls in by_apply.items():
         if True in walls and False in walls and walls[True] > 0.0:
             grid = "x".join(str(s) for s in subdomains)

@@ -42,6 +42,24 @@ class MachineConfig:
     cpu_cost_model: CpuCostModel = field(default_factory=CpuCostModel)
     gpu_cost_model: GpuCostModel = field(default_factory=GpuCostModel)
 
+    def __post_init__(self) -> None:
+        # Reject impossible resource counts at construction: a zero or
+        # negative worker count used to surface only deep inside the engine
+        # (ThreadClocks, stream creation) as an opaque error.
+        for name in ("threads_per_cluster", "streams_per_cluster"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"MachineConfig.{name} must be an integer >= 1, got "
+                    f"{value!r}; a cluster cannot run with zero or negative "
+                    "workers"
+                )
+        if self.gpu_memory_bytes < 1:
+            raise ValueError(
+                f"MachineConfig.gpu_memory_bytes must be >= 1, got "
+                f"{self.gpu_memory_bytes!r}"
+            )
+
     def with_cuda(self, version: CudaVersion) -> "MachineConfig":
         """A copy of the configuration with a different CUDA generation."""
         return replace(self, cuda_version=version)

@@ -60,6 +60,7 @@ def make_dual_operator(
     batched: bool = True,
     blocked: bool = True,
     pattern_cache=None,
+    executor=None,
 ) -> DualOperatorBase:
     """Instantiate one of the nine Table-III dual-operator approaches.
 
@@ -89,6 +90,11 @@ def make_dual_operator(
         Caller-owned :class:`~repro.sparse.cache.PatternCache` for the
         symbolic analysis (a :class:`repro.api.Session` passes its own);
         ``None`` keeps the sparse layer's default cache selection.
+    executor:
+        Runtime :class:`~repro.runtime.executor.Executor` the preprocessing
+        shards run on (a :class:`repro.api.Session` passes the one it
+        owns); ``None`` resolves to the ``REPRO_EXECUTOR`` process default
+        (serial when unset).
     """
     config = machine_config or MachineConfig()
     cuda = approach.cuda_library
@@ -96,7 +102,12 @@ def make_dual_operator(
         config = config.with_cuda(cuda.cuda_version)
     machine = Machine.for_decomposition(problem.decomposition, config)
     assembly = assembly_config or AssemblyConfig()
-    kwargs = {"batched": batched, "blocked": blocked, "pattern_cache": pattern_cache}
+    kwargs = {
+        "batched": batched,
+        "blocked": blocked,
+        "pattern_cache": pattern_cache,
+        "executor": executor,
+    }
 
     if approach is DualOperatorApproach.IMPLICIT_MKL:
         return ImplicitCpuDualOperator(

@@ -41,6 +41,7 @@ class DualOperatorBase(abc.ABC):
         batched: bool = True,
         blocked: bool = True,
         pattern_cache: PatternCache | None = None,
+        executor=None,
     ) -> None:
         self.problem = problem
         self.machine = machine
@@ -61,6 +62,16 @@ class DualOperatorBase(abc.ABC):
         #: The scalar reference path never uses a cache so it stays a
         #: faithful per-subdomain baseline.
         self.pattern_cache = pattern_cache if blocked else None
+        #: Runtime executor the preprocessing shards run on (a
+        #: :class:`repro.runtime.executor.Executor`); ``None`` resolves to
+        #: the process-wide default (``REPRO_EXECUTOR``, serial when unset)
+        #: on first use.  A :class:`repro.api.Session` passes the executor
+        #: it owns.
+        self._executor = executor
+        #: The most recent preprocessing round: keeps the shared-memory
+        #: buffers backing adopted factor panels and ``local_F`` views
+        #: alive until the next round replaces them.
+        self._preprocess_round = None
         self.ledger = TimingLedger()
         self._prepared = False
         self._preprocessed = False
@@ -101,6 +112,46 @@ class DualOperatorBase(abc.ABC):
         if self._batch_engine is None:
             self._batch_engine = SubdomainBatchEngine(self.problem, self.machine)
         return self._batch_engine
+
+    @property
+    def executor(self):
+        """The runtime executor of the preprocessing shards (lazy default)."""
+        if self._executor is None:
+            from repro.runtime.executor import shared_executor
+
+            self._executor = shared_executor()
+        return self._executor
+
+    def run_feti_preprocessing(
+        self,
+        *,
+        need_schur: bool = False,
+        exploit_rhs_sparsity: bool = True,
+        need_rhs_fill: bool = False,
+    ):
+        """Factorize every subdomain (and optionally assemble ``F̃ᵢ``).
+
+        The single entry point of the runtime layer: with a serial executor
+        this is the historical per-subdomain loop; with a parallel one the
+        work is sharded by cluster topology and dispatched as overlapping
+        futures (see :mod:`repro.runtime.preprocess`).  On return every
+        solver in ``self._cpu_solvers`` is numerically factorized; the
+        returned round maps subdomain indices to their Schur blocks /
+        cost-model inputs.
+        """
+        from repro.runtime.preprocess import run_preprocessing
+
+        round_ = run_preprocessing(
+            self.executor,
+            [(c.cluster_id, subs) for c, subs in self.iter_clusters()],
+            self._cpu_solvers,
+            need_schur=need_schur,
+            exploit_rhs_sparsity=exploit_rhs_sparsity,
+            need_rhs_fill=need_rhs_fill,
+            blocked=self.blocked,
+        )
+        self._preprocess_round = round_
+        return round_
 
     # ------------------------------------------------------------------ #
     # Phase template methods                                              #

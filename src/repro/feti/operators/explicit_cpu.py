@@ -34,9 +34,15 @@ class ExplicitCpuDualOperator(DualOperatorBase):
         batched: bool = True,
         blocked: bool = True,
         pattern_cache=None,
+        executor=None,
     ) -> None:
         super().__init__(
-            problem, machine, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+            problem,
+            machine,
+            batched=batched,
+            blocked=blocked,
+            pattern_cache=pattern_cache,
+            executor=executor,
         )
         self.library = library
         self.approach = (
@@ -72,15 +78,22 @@ class ExplicitCpuDualOperator(DualOperatorBase):
         return self._merge_cluster_times(cluster_times), breakdown
 
     def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        # Factorization + Schur assembly of every subdomain via the runtime:
+        # the serial reference loop, or sharded futures whose packed local_F
+        # blocks come back as (shared-memory) views.
+        round_ = self.run_feti_preprocessing(
+            need_schur=True,
+            exploit_rhs_sparsity=self.library is CpuLibrary.MKL_PARDISO,
+            need_rhs_fill=True,
+        )
         breakdown: dict[str, float] = {"schur_complement": 0.0}
         cluster_times = []
         for cluster, subs in self.iter_clusters():
             clocks = self.new_thread_clocks(cluster)
             for i, sub in enumerate(subs):
                 solver = self._cpu_solvers[sub.index]
-                solver.factorize(sub.K_reg)
-                self.local_F[sub.index] = solver.schur_complement(sub.B)
-                rhs_fill = solver.rhs_fill(sub.B)
+                self.local_F[sub.index] = round_[sub.index].local_F
+                rhs_fill = round_[sub.index].rhs_fill
                 cost = cluster.cpu.schur_complement(
                     solver.factor_nnz,
                     solver.factorization_flops(),

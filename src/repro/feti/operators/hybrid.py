@@ -41,6 +41,7 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         batched: bool = True,
         blocked: bool = True,
         pattern_cache=None,
+        executor=None,
     ) -> None:
         # Bypass the ExplicitGpuDualOperator constructor: the hybrid approach
         # owns PARDISO-like CPU solvers and never uploads factors.
@@ -52,6 +53,7 @@ class HybridDualOperator(ExplicitGpuDualOperator):
             batched=batched,
             blocked=blocked,
             pattern_cache=pattern_cache,
+            executor=executor,
         )
         self.approach = DualOperatorApproach.EXPLICIT_HYBRID
         self._cpu_solvers = {
@@ -106,6 +108,11 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         return self._merge_cluster_times(cluster_times), breakdown
 
     def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        # CPU assembly of every F̃ᵢ via the runtime (sharded futures under a
+        # parallel executor); only the host-to-device copy stays below.
+        round_ = self.run_feti_preprocessing(
+            need_schur=True, exploit_rhs_sparsity=True, need_rhs_fill=True
+        )
         breakdown = {"schur_complement": 0.0, "upload_F": 0.0}
         cluster_times = []
         for cluster, subs in self.iter_clusters():
@@ -116,13 +123,12 @@ class HybridDualOperator(ExplicitGpuDualOperator):
                 stream = cluster.stream_for(i)
                 solver = self._cpu_solvers[sub.index]
                 state = self._state[sub.index]
-                solver.factorize(sub.K_reg)
-                F = solver.schur_complement(sub.B)
+                F = round_[sub.index].local_F
                 cost = cluster.cpu.schur_complement(
                     solver.factor_nnz,
                     solver.factorization_flops(),
                     sub.n_lambda,
-                    solver.rhs_fill(sub.B),
+                    round_[sub.index].rhs_fill,
                     CpuLibrary.MKL_PARDISO,
                     ndofs=sub.ndofs,
                 )

@@ -34,9 +34,15 @@ class ImplicitCpuDualOperator(DualOperatorBase):
         batched: bool = True,
         blocked: bool = True,
         pattern_cache=None,
+        executor=None,
     ) -> None:
         super().__init__(
-            problem, machine, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+            problem,
+            machine,
+            batched=batched,
+            blocked=blocked,
+            pattern_cache=pattern_cache,
+            executor=executor,
         )
         self.library = library
         self.approach = (
@@ -70,13 +76,15 @@ class ImplicitCpuDualOperator(DualOperatorBase):
         return self._merge_cluster_times(cluster_times), breakdown
 
     def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        # Numeric factorization of every subdomain: serial reference loop or
+        # sharded futures, depending on the operator's executor.
+        self.run_feti_preprocessing()
         breakdown: dict[str, float] = {"numeric_factorization": 0.0}
         cluster_times = []
         for cluster, subs in self.iter_clusters():
             clocks = self.new_thread_clocks(cluster)
             for i, sub in enumerate(subs):
                 solver = self._cpu_solvers[sub.index]
-                solver.factorize(sub.K_reg)
                 cost = cluster.cpu.numeric_factorization(
                     solver.factorization_flops(), solver.factor_nnz, self.library
                 )

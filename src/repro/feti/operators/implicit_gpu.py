@@ -50,9 +50,15 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         batched: bool = True,
         blocked: bool = True,
         pattern_cache=None,
+        executor=None,
     ) -> None:
         super().__init__(
-            problem, machine, batched=batched, blocked=blocked, pattern_cache=pattern_cache
+            problem,
+            machine,
+            batched=batched,
+            blocked=blocked,
+            pattern_cache=pattern_cache,
+            executor=executor,
         )
         if approach not in (
             DualOperatorApproach.IMPLICIT_GPU_LEGACY,
@@ -136,6 +142,10 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         return self._merge_cluster_times(cluster_times), breakdown
 
     def _preprocess_impl(self) -> tuple[float, dict[str, float]]:
+        # The CPU-side numeric factorizations run through the runtime
+        # (sharded futures under a parallel executor); the device uploads
+        # below consume the adopted factors.
+        self.run_feti_preprocessing()
         breakdown = {"numeric_factorization": 0.0, "factor_extraction": 0.0, "upload": 0.0}
         cluster_times = []
         for cluster, subs in self.iter_clusters():
@@ -147,7 +157,6 @@ class ImplicitGpuDualOperator(DualOperatorBase):
                 state = self._state[sub.index]
                 solver = self._cpu_solvers[sub.index]
 
-                solver.factorize(sub.K_reg)
                 fact_cost = cluster.cpu.numeric_factorization(
                     solver.factorization_flops(), solver.factor_nnz, CpuLibrary.CHOLMOD
                 )

@@ -147,6 +147,7 @@ class FetiSolver:
         options: "SolverSpec | FetiSolverOptions | str | None" = None,
         *,
         pattern_cache: PatternCache | None = None,
+        executor=None,
     ) -> None:
         from repro.api.spec import SolverSpec
 
@@ -158,6 +159,12 @@ class FetiSolver:
         self.spec = spec
         #: Normalized options (always a :class:`SolverSpec` since PR 4).
         self.options = spec
+        if executor is None and spec.execution is not None:
+            # A spec-declared execution backend works without a Session:
+            # the solver falls back to the process-shared executor pool.
+            from repro.runtime.executor import shared_executor
+
+            executor = shared_executor(spec.execution)
         self.operator: DualOperatorBase = make_dual_operator(
             spec.approach,
             problem,
@@ -166,6 +173,7 @@ class FetiSolver:
             batched=spec.batched,
             blocked=spec.blocked,
             pattern_cache=pattern_cache,
+            executor=executor,
         )
         self._projector: Projector | None = None
         self._preconditioner = None

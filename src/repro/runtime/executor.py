@@ -1,0 +1,457 @@
+"""Execution backends of the parallel runtime.
+
+An :class:`Executor` runs *shard tasks* — self-contained callables produced
+by the preprocessing orchestrator and the solve queue — on one of three
+backends:
+
+``serial``
+    Run inline in the calling thread.  The reference backend: no pools, no
+    shared memory, identical to the historical single-process behaviour.
+``threads``
+    A ``concurrent.futures.ThreadPoolExecutor``.  Shard tasks operate on
+    the parent's objects directly; NumPy/BLAS release the GIL inside the
+    dense kernels, so shards overlap on multicore hosts.  Requires the
+    shared caches to be thread-safe (they are: :class:`~repro.sparse.cache.
+    PatternCache` and the :class:`~repro.api.session.Session` caches are
+    lock-guarded).
+``processes``
+    A ``concurrent.futures.ProcessPoolExecutor`` (fork start method where
+    available).  Tasks must be module-level functions with picklable
+    arguments; bulk array results travel through
+    ``multiprocessing.shared_memory`` (see :mod:`repro.runtime.shm`) so
+    packed ``local_F`` blocks and factor panels are never pickled.
+
+The :class:`ExecutionSpec` value object is the declarative description used
+by :class:`repro.api.SolverSpec` (its ``execution`` field) and the bench
+registry; ``REPRO_EXECUTOR`` / ``REPRO_WORKERS`` select a process-wide
+default so an entire test suite can be rerun under a parallel backend
+without touching any call site.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import os
+import threading
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionError",
+    "ExecutionSpec",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "default_execution",
+    "shared_executor",
+]
+
+#: The recognized backend names, in increasing isolation order.
+BACKENDS = ("serial", "threads", "processes")
+
+
+class ExecutionError(ValueError):
+    """An execution spec failed validation (actionable message included)."""
+
+
+def _positive_workers(value: Any) -> int:
+    """Validate a worker count: a whole number >= 1."""
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ExecutionError(
+            f"workers must be an integer >= 1, got {value!r}"
+        ) from None
+    if isinstance(value, float) and workers != value:
+        raise ExecutionError(
+            f"workers must be a whole number, got {value!r}"
+        )
+    if workers < 1:
+        raise ExecutionError(
+            f"workers must be an integer >= 1, got {value!r}; "
+            "a parallel executor cannot run with zero or negative workers"
+        )
+    return workers
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Declarative description of one execution backend.
+
+    Attributes
+    ----------
+    backend:
+        One of ``"serial"``, ``"threads"``, ``"processes"``.
+    workers:
+        Worker count of the pool (and the shard fan-out of the
+        preprocessing phase).  Forced to ``1`` for the serial backend.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of: {', '.join(BACKENDS)}"
+            )
+        object.__setattr__(self, "workers", _positive_workers(self.workers))
+        if self.backend == "serial" and self.workers != 1:
+            raise ExecutionError(
+                f"the serial backend runs exactly one worker, got workers={self.workers}; "
+                "pick backend='threads' or 'processes' for a worker pool"
+            )
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this spec describes a sharded (multi-worker) execution."""
+        return self.workers > 1
+
+    # ------------------------------------------------------------------ #
+    # Coercion / serialization                                            #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of(cls, value: "ExecutionSpec | str | Mapping[str, Any] | None") -> "ExecutionSpec":
+        """Normalize ``None`` (serial), a spec, a mapping, or a string.
+
+        Strings accept an optional worker suffix: ``"processes"`` (the
+        host's CPU count), ``"processes:4"``, ``"threads:2"``.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            backend, sep, workers = value.partition(":")
+            if not sep:
+                return cls(backend=backend, workers=default_workers(backend))
+            return cls(backend=backend, workers=workers)  # type: ignore[arg-type]
+        if isinstance(value, Mapping):
+            unknown = sorted(set(value) - {"backend", "workers"})
+            if unknown:
+                raise ExecutionError(
+                    f"unknown execution field(s) {unknown}; "
+                    "known fields: ['backend', 'workers']"
+                )
+            return cls(**dict(value))
+        raise ExecutionError(
+            f"expected an ExecutionSpec, a backend string, a dict or None, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON representation (inverse of :meth:`of`)."""
+        return {"backend": self.backend, "workers": self.workers}
+
+    def describe(self) -> str:
+        """Short form used in benchmark point keys (e.g. ``processes4``)."""
+        return self.backend if self.backend == "serial" else f"{self.backend}{self.workers}"
+
+
+def default_workers(backend: str = "processes") -> int:
+    """Default pool size of a parallel backend (serial is always 1)."""
+    if backend == "serial":
+        return 1
+    return max(1, os.cpu_count() or 1)
+
+
+def default_execution() -> ExecutionSpec:
+    """The process-wide default execution, from the environment.
+
+    ``REPRO_EXECUTOR`` selects the backend (default ``serial``) and
+    ``REPRO_WORKERS`` the worker count, so CI can rerun the whole suite
+    under e.g. ``REPRO_EXECUTOR=processes REPRO_WORKERS=2`` without
+    touching any call site.
+    """
+    backend = os.environ.get("REPRO_EXECUTOR", "").strip() or "serial"
+    workers = os.environ.get("REPRO_WORKERS", "").strip()
+    if backend not in BACKENDS:
+        raise ExecutionError(
+            f"REPRO_EXECUTOR={backend!r} is not a known backend; "
+            f"expected one of: {', '.join(BACKENDS)}"
+        )
+    if backend == "serial" or not workers:
+        # REPRO_WORKERS without a parallel REPRO_EXECUTOR is meaningless —
+        # serial always runs one worker.
+        return ExecutionSpec(backend, default_workers(backend))
+    return ExecutionSpec(backend, _positive_workers(workers))
+
+
+# --------------------------------------------------------------------- #
+# Executors                                                              #
+# --------------------------------------------------------------------- #
+class Executor(abc.ABC):
+    """A backend that runs shard tasks and returns futures."""
+
+    def __init__(self, spec: ExecutionSpec) -> None:
+        self.spec = spec
+        self._closed = False
+        #: Symbolic-analysis keys already shipped to this executor's workers
+        #: (see :mod:`repro.runtime.preprocess`): the first round of a
+        #: pattern sends the full analysis, later rounds only its digest —
+        #: a worker that still misses it re-derives from the pattern arrays.
+        self.seeded_keys: set = set()
+
+    @property
+    def backend(self) -> str:
+        """Backend name of the executor."""
+        return self.spec.backend
+
+    @property
+    def workers(self) -> int:
+        """Worker count (= shard fan-out of the preprocessing phase)."""
+        return self.spec.workers
+
+    @abc.abstractmethod
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Schedule one task; returns its future."""
+
+    def map_tasks(
+        self, fn: Callable[..., Any], payloads: Sequence[Any]
+    ) -> list[Any]:
+        """Dispatch ``fn(payload)`` for every payload, gather in order.
+
+        All tasks are submitted before the first result is awaited, so they
+        overlap on parallel backends; results keep the payload order
+        (determinism does not depend on completion order).
+        """
+        futures = [self.submit(fn, payload) for payload in payloads]
+        return [f.result() for f in futures]
+
+    def warm(self) -> None:
+        """Start the worker pool eagerly (no-op for inline backends).
+
+        Sessions call this at construction so pool start-up never lands
+        inside a measured preprocessing phase.
+        """
+
+    def close(self) -> None:
+        """Shut the backend down (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} has been closed")
+
+
+class SerialExecutor(Executor):
+    """Inline execution in the calling thread (the reference backend)."""
+
+    def __init__(self, spec: ExecutionSpec | None = None) -> None:
+        super().__init__(spec or ExecutionSpec())
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        self._check_open()
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution over the parent's objects.
+
+    Submissions *from one of the pool's own workers* run inline instead of
+    being enqueued: a task that blocks on nested futures (a queued solve
+    waiting on its preprocessing shards) would otherwise starve itself when
+    every worker is occupied by a blocking parent — the classic bounded-pool
+    self-deadlock.
+    """
+
+    def __init__(self, spec: ExecutionSpec) -> None:
+        super().__init__(spec)
+        self._prefix = f"repro-runtime-{id(self):x}"
+        self._pool = ThreadPoolExecutor(
+            max_workers=spec.workers, thread_name_prefix=self._prefix
+        )
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        self._check_open()
+        if threading.current_thread().name.startswith(self._prefix):
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - mirrored into the future
+                future.set_exception(exc)
+            return future
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        super().close()
+
+
+def _identity(value: Any) -> Any:
+    """Module-level no-op used to warm process workers."""
+    return value
+
+
+def _warm_worker(value: Any) -> Any:
+    """Warm-up task run once per process worker at pool start.
+
+    Triggers the lazy one-time initialization a worker would otherwise pay
+    inside its first real task (BLAS thread-pool setup, kernel imports), so
+    the first measured preprocessing round sees steady-state workers.  The
+    small GEMM also keeps the task busy long enough for the pool to spread
+    the warm-up across all workers.
+    """
+    import numpy as _np
+
+    import repro.runtime.kernels  # noqa: F401 - imported for its side effects
+
+    a = _np.ones((48, 48))
+    for _ in range(20):
+        a = a @ a * 1e-40 + 1.0
+    return value
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution with shared-memory array transport.
+
+    The pool prefers the ``fork`` start method (cheap, inherits the loaded
+    modules) and falls back to the platform default elsewhere.  The pool is
+    created lazily on first use; :meth:`warm` forces creation and round-trips
+    one task per worker so later phase timings never include start-up.
+    """
+
+    def __init__(self, spec: ExecutionSpec) -> None:
+        super().__init__(spec)
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._check_open()
+                import multiprocessing as mp
+
+                try:
+                    # Start the shared-memory resource tracker *before* the
+                    # workers exist, so every worker inherits it: attaching
+                    # an arena in a worker then only duplicates the parent's
+                    # registration instead of spawning a worker-local
+                    # tracker that would unlink the arena on worker exit.
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:  # pragma: no cover - platform dependent
+                    pass
+                # Import the task modules *before* forking: the workers then
+                # inherit them loaded instead of each paying the import cost
+                # on its first task (which would land inside a measured
+                # preprocessing phase).
+                import repro.api.session  # noqa: F401
+                import repro.runtime.preprocess  # noqa: F401
+                import repro.runtime.queue  # noqa: F401
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.spec.workers, mp_context=self._context(mp)
+                )
+            return self._pool
+
+    @staticmethod
+    def _context(mp):
+        """Pick a start method that is safe for the current process.
+
+        ``fork`` is the cheapest (workers inherit every loaded module) but
+        forking a *multi-threaded* parent can deadlock the children on locks
+        held mid-operation by other threads (BLAS pools, a live threads
+        executor).  So: fork only while single-threaded, else go through a
+        forkserver (its server is spawned clean and preloads the task
+        modules), and fall back to the platform default elsewhere.
+        """
+        methods = mp.get_all_start_methods()
+        if "fork" in methods and threading.active_count() == 1:
+            return mp.get_context("fork")
+        if "forkserver" in methods:
+            context = mp.get_context("forkserver")
+            try:
+                context.set_forkserver_preload(
+                    [
+                        "repro.runtime.preprocess",
+                        "repro.runtime.queue",
+                        "repro.api.session",
+                    ]
+                )
+            except Exception:  # pragma: no cover - preload is best-effort
+                pass
+            return context
+        return mp.get_context()
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        self._check_open()
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
+    def warm(self) -> None:
+        pool = self._ensure_pool()
+        for f in [pool.submit(_warm_worker, i) for i in range(self.spec.workers)]:
+            f.result()
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        super().close()
+
+
+def make_executor(
+    spec: "ExecutionSpec | str | Mapping[str, Any] | None" = None,
+) -> Executor:
+    """Instantiate the executor described by a spec (serial by default)."""
+    resolved = ExecutionSpec.of(spec)
+    if resolved.backend == "serial":
+        return SerialExecutor(resolved)
+    if resolved.backend == "threads":
+        return ThreadExecutor(resolved)
+    return ProcessExecutor(resolved)
+
+
+# --------------------------------------------------------------------- #
+# Shared default executors                                               #
+# --------------------------------------------------------------------- #
+_SHARED: dict[ExecutionSpec, Executor] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_executor(
+    spec: "ExecutionSpec | str | Mapping[str, Any] | None" = None,
+) -> Executor:
+    """A process-wide executor for a spec (``None`` = the env default).
+
+    Shared executors back the operators that were constructed without a
+    session (the legacy ``FetiSolver(problem)`` path); they are closed at
+    interpreter exit.  Callers that manage lifecycles explicitly — a
+    :class:`repro.api.Session` — create their own executors instead.
+    """
+    resolved = default_execution() if spec is None else ExecutionSpec.of(spec)
+    with _SHARED_LOCK:
+        executor = _SHARED.get(resolved)
+        if executor is None:
+            executor = make_executor(resolved)
+            _SHARED[resolved] = executor
+        return executor
+
+
+@atexit.register
+def _close_shared_executors() -> None:
+    with _SHARED_LOCK:
+        executors = list(_SHARED.values())
+        _SHARED.clear()
+    for executor in executors:
+        executor.close()

@@ -1,0 +1,291 @@
+"""The concurrent solve queue: many (workload, spec, rhs) requests, one API.
+
+:class:`SolveQueue` is the "many users" serving path of the runtime: callers
+submit solve requests against one :class:`~repro.api.session.Session` and the
+queue schedules them across an executor:
+
+* ``serial`` — requests run inline at submission (the reference behaviour);
+* ``threads`` — requests run on a thread pool **sharing the session's
+  caches**: two requests for the same workload reuse its prepared solvers
+  (serialized on the session's per-workload lock, because a workload's
+  problem loads and its solvers' operators/ledgers are stateful), while
+  requests for different workloads overlap;
+* ``processes`` — requests run in pool workers, each owning a worker-local
+  :class:`Session` (and therefore its own pattern cache and prepared
+  solvers, warmed across requests).  Workloads and specs travel as their
+  JSON dictionaries; the returned :class:`QueueSolution` carries plain
+  arrays.
+
+Requests accept an optional ``rhs``: ``None`` solves the workload's declared
+loads, a scalar scales them, and a sequence of per-subdomain arrays replaces
+them outright — the problem's pristine loads are restored after every
+request, so queue traffic never leaks state between users.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.runtime.executor import ExecutionSpec, Executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+    from repro.api.spec import SolverSpec
+    from repro.api.workload import Workload
+    from repro.feti.solver import FetiSolution
+
+__all__ = ["QueueSolution", "SolveTicket", "SolveQueue"]
+
+
+@dataclass
+class QueueSolution:
+    """Backend-independent result of one queued solve (picklable)."""
+
+    lam: np.ndarray
+    alpha: np.ndarray
+    primal: list[np.ndarray]
+    iterations: int
+    converged: bool
+    preprocessing_seconds: float
+    dual_apply_seconds: float
+
+    @classmethod
+    def from_solution(cls, solution: "FetiSolution") -> "QueueSolution":
+        return cls(
+            lam=solution.lam,
+            alpha=solution.alpha,
+            primal=list(solution.primal),
+            iterations=solution.iterations,
+            converged=solution.converged,
+            preprocessing_seconds=solution.preprocessing.simulated_seconds,
+            dual_apply_seconds=solution.dual_apply_seconds,
+        )
+
+
+@dataclass
+class SolveTicket:
+    """Handle of one submitted request (submission order preserved)."""
+
+    request_id: int
+    workload: "Workload"
+    future: Future
+
+    def result(self, timeout: float | None = None) -> QueueSolution:
+        """Block until the request's solution is available."""
+        return self.future.result(timeout)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has finished."""
+        return self.future.done()
+
+
+def _normalize_rhs(rhs: Any) -> float | list[np.ndarray] | None:
+    if rhs is None:
+        return None
+    if isinstance(rhs, (int, float, np.integer, np.floating)):
+        return float(rhs)
+    if isinstance(rhs, np.ndarray):
+        if rhs.ndim == 0:
+            return float(rhs)
+        # A stacked 2-D array (or 1-D object array) of per-subdomain loads.
+        return [np.asarray(f, dtype=float) for f in rhs]
+    if isinstance(rhs, Sequence) and not isinstance(rhs, (str, bytes)):
+        return [np.asarray(f, dtype=float) for f in rhs]
+    raise TypeError(
+        "rhs must be None, a scalar load factor, or a sequence of "
+        f"per-subdomain load vectors, got {type(rhs).__name__}"
+    )
+
+
+def _apply_rhs(problem, base_loads, rhs) -> None:
+    """Install a request's loads onto a (locked) problem."""
+    if rhs is None:
+        values = base_loads
+    elif isinstance(rhs, float):
+        values = [rhs * f for f in base_loads]
+    else:
+        if len(rhs) != len(problem.subdomains):
+            raise ValueError(
+                f"rhs has {len(rhs)} load vectors but the problem has "
+                f"{len(problem.subdomains)} subdomains"
+            )
+        values = rhs
+    for sub, f in zip(problem.subdomains, values):
+        if f.shape != sub.f.shape:
+            raise ValueError(
+                f"rhs for subdomain {sub.index} has shape {f.shape}, "
+                f"expected {sub.f.shape}"
+            )
+        sub.f = np.array(f, dtype=float, copy=True)
+
+
+# --------------------------------------------------------------------- #
+# Process-backend worker state                                           #
+# --------------------------------------------------------------------- #
+#: Worker-local sessions keyed by spec JSON; prepared solvers and pattern
+#: caches persist across the requests a worker serves.
+_WORKER_SESSIONS: dict[tuple, Any] = {}
+
+
+def _worker_session(spec_dict: Mapping[str, Any]):
+    from repro.api.session import Session
+    from repro.api.spec import SolverSpec
+
+    key = tuple(sorted((k, repr(v)) for k, v in spec_dict.items()))
+    session = _WORKER_SESSIONS.get(key)
+    if session is None:
+        session = Session(SolverSpec.from_dict(spec_dict))
+        _WORKER_SESSIONS[key] = session
+    return session
+
+
+def _solve_request_in_session(
+    session: "Session", workload: "Workload", spec: "SolverSpec", rhs
+) -> QueueSolution:
+    """Run one request inside a session, restoring pristine loads after."""
+    if rhs is None:
+        return QueueSolution.from_solution(session.solve(workload, spec))
+    problem = session.problem(workload)
+    base = [f.copy() for f in session.base_loads(workload)]
+    try:
+        _apply_rhs(problem, base, rhs)
+        solution = session.solve(workload, spec)
+        return QueueSolution.from_solution(solution)
+    finally:
+        for sub, f in zip(problem.subdomains, base):
+            sub.f = f
+
+
+def _process_solve(payload: tuple) -> QueueSolution:
+    """Module-level process task: solve one request in a worker session."""
+    from repro.api.workload import Workload
+
+    workload_dict, spec_dict, rhs = payload
+    session = _worker_session(spec_dict)
+    workload = Workload.from_dict(workload_dict)
+    return _solve_request_in_session(session, workload, session.spec, rhs)
+
+
+# --------------------------------------------------------------------- #
+# The queue                                                              #
+# --------------------------------------------------------------------- #
+class SolveQueue:
+    """Schedule many solve requests against one session.
+
+    Parameters
+    ----------
+    session:
+        The owning session (problems, prepared solvers, pattern cache).
+    executor:
+        The backend the requests run on; defaults to the session's default
+        executor.  With the process backend the session's *configuration*
+        is shipped to the workers, which keep their own warmed sessions.
+    """
+
+    def __init__(
+        self, session: "Session", executor: Executor | None = None
+    ) -> None:
+        import weakref
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.session = session
+        self.executor = executor if executor is not None else session.executor()
+        self._tickets: list[SolveTicket] = []
+        #: Request-level pool of the threads backend.  Requests must not run
+        #: on the session's shard executor itself: a request blocks on the
+        #: shard futures of its preprocessing, so sharing the pool would let
+        #: enough concurrent requests starve their own shards (deadlock).
+        #: The shard pool stays dedicated to shards; this pool carries the
+        #: blocking request bodies.
+        self._request_pool: ThreadPoolExecutor | None = None
+        if self.executor.backend == "threads":
+            self._request_pool = ThreadPoolExecutor(
+                max_workers=self.executor.workers, thread_name_prefix="repro-queue"
+            )
+            self._finalizer = weakref.finalize(
+                self, self._request_pool.shutdown, wait=False
+            )
+
+    def close(self) -> None:
+        """Shut the request pool down (idempotent; results stay readable)."""
+        if self._request_pool is not None:
+            self._request_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SolveQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        workload: "Workload | str | Mapping[str, Any]",
+        spec: "SolverSpec | str | None" = None,
+        rhs: Any = None,
+    ) -> SolveTicket:
+        """Enqueue one request; returns its ticket immediately."""
+        w = self.session.resolve_workload(workload)
+        s = self.session.resolve_spec(spec)
+        request_rhs = _normalize_rhs(rhs)
+
+        if self.executor.backend == "processes":
+            spec_dict = s.to_dict()
+            # Workers solve serially: a nested pool inside a pool worker
+            # would oversubscribe the host (and break under env defaults).
+            spec_dict["execution"] = ExecutionSpec().to_dict()
+            future = self.executor.submit(
+                _process_solve, (w.to_dict(), spec_dict, request_rhs)
+            )
+        elif self._request_pool is not None:
+            future = self._request_pool.submit(self._solve_locked, w, s, request_rhs)
+        else:
+            future = self.executor.submit(self._solve_locked, w, s, request_rhs)
+
+        ticket = SolveTicket(
+            request_id=len(self._tickets), workload=w, future=future
+        )
+        self._tickets.append(ticket)
+        return ticket
+
+    def map(
+        self,
+        requests: Sequence[
+            "Workload | str | Mapping[str, Any] | tuple"
+        ],
+    ) -> list[QueueSolution]:
+        """Submit many requests and gather their results in order.
+
+        Each request is a workload, or a ``(workload, spec)`` /
+        ``(workload, spec, rhs)`` tuple.
+        """
+        tickets = []
+        for request in requests:
+            if isinstance(request, tuple):
+                tickets.append(self.submit(*request))
+            else:
+                tickets.append(self.submit(request))
+        return [t.result() for t in tickets]
+
+    def gather(self) -> list[QueueSolution]:
+        """Wait for every submitted request (submission order)."""
+        return [t.result() for t in self._tickets]
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet finished."""
+        return sum(1 for t in self._tickets if not t.done)
+
+    # ------------------------------------------------------------------ #
+    def _solve_locked(self, workload, spec, rhs) -> QueueSolution:
+        # The lock is the *session's* per-workload lock, so requests from
+        # any number of queues — and direct session.solve calls — serialize
+        # on one workload's shared state while different workloads overlap.
+        with self.session.workload_lock(workload):
+            return _solve_request_in_session(self.session, workload, spec, rhs)

@@ -47,7 +47,10 @@ class PatternCache:
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, SymbolicFactor] = OrderedDict()
-        self._lock = threading.Lock()
+        # Re-entrant so a cache consumer holding the lock can safely call
+        # back into the cache (and so the threads execution backend can
+        # hammer one shared cache from every worker at once).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 

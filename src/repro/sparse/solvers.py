@@ -124,6 +124,19 @@ class SparseSolverBase:
         self._factor = numeric_cholesky(K, self._symbolic, blocked=self.blocked)
         return self._factor
 
+    def adopt_factor(self, factor: CholeskyFactor) -> CholeskyFactor:
+        """Install a numeric factor computed elsewhere (the sharded runtime).
+
+        The factor's values may be views into shared memory written by a
+        worker process; its symbolic analysis must describe the same
+        pattern this solver analysed (the runtime guarantees it by
+        re-deriving the analysis deterministically per pattern).
+        """
+        if self._symbolic is None:
+            self._symbolic = factor.symbolic
+        self._factor = factor
+        return factor
+
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #

@@ -225,3 +225,51 @@ def test_feti_solver_accepts_spec_and_preset_names():
     assert by_name.spec.approach is DualOperatorApproach.EXPLICIT_MKL
     with pytest.raises(TypeError, match="expected a SolverSpec"):
         FetiSolver(problem, 3.14)  # type: ignore[arg-type]
+
+
+class TestExecutionField:
+    """The runtime execution backend carried by the spec (PR 5)."""
+
+    def test_default_is_unset_and_resolves_to_the_environment(self, monkeypatch):
+        from repro.runtime.executor import ExecutionSpec
+
+        spec = SolverSpec()
+        assert spec.execution is None
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert spec.resolve_execution() == ExecutionSpec()
+        monkeypatch.setenv("REPRO_EXECUTOR", "threads")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert spec.resolve_execution() == ExecutionSpec("threads", 2)
+
+    def test_strings_and_dicts_coerce(self):
+        from repro.runtime.executor import ExecutionSpec
+
+        assert SolverSpec(execution="processes:4").execution == ExecutionSpec(
+            "processes", 4
+        )
+        assert SolverSpec(
+            execution={"backend": "threads", "workers": 2}
+        ).execution == ExecutionSpec("threads", 2)
+
+    def test_invalid_worker_counts_fail_at_construction(self):
+        with pytest.raises(SpecError, match="zero or negative"):
+            SolverSpec(execution="threads:0")
+        with pytest.raises(SpecError, match="zero or negative"):
+            SolverSpec(execution={"backend": "processes", "workers": -2})
+
+    def test_unknown_backend_fails_actionably(self):
+        with pytest.raises(SpecError, match="serial, threads, processes"):
+            SolverSpec(execution="gpu:2")
+
+    def test_json_round_trip_preserves_execution(self):
+        spec = SolverSpec(execution="processes:2")
+        data = spec.to_dict()
+        assert data["execution"] == {"backend": "processes", "workers": 2}
+        assert SolverSpec.from_dict(data) == spec
+        assert SolverSpec.from_dict(SolverSpec().to_dict()).execution is None
+
+    def test_execution_participates_in_spec_identity(self):
+        assert SolverSpec(execution="threads:2") != SolverSpec()
+        assert hash(SolverSpec(execution="threads:2")) == hash(
+            SolverSpec(execution="threads:2")
+        )

@@ -84,13 +84,28 @@ def test_workload_spec_alias_is_deprecated():
 def test_scenario_grid_axes_and_point_count():
     scenario = registry.get("heat_2d_scaling")
     grid = scenario.grid()
-    assert sorted(grid) == ["approach", "batched", "blocked", "cells", "subdomains"]
+    assert sorted(grid) == [
+        "approach", "batched", "blocked", "cells", "execution", "subdomains",
+    ]
     assert grid["subdomains"] == [(2, 2), (4, 4)]
+    assert grid["execution"] == [None]
     assert scenario.n_points() == 4
 
     sizes = registry.get("heat_2d_sizes")
     assert sizes.grid()["cells"] == [7, 15, 31]
     assert sizes.n_points() == 27
+
+
+def test_parallel_scaling_scenario_sweeps_worker_counts():
+    from repro.runtime.executor import ExecutionSpec
+
+    scenario = registry.get("parallel_scaling")
+    assert scenario.execution[0] is None  # the serial reference point
+    parallel = [e for e in scenario.execution if e is not None]
+    assert ExecutionSpec("threads", 4) in parallel
+    assert ExecutionSpec("processes", 4) in parallel
+    assert {"quick", "runtime"} <= scenario.tags
+    assert scenario.expected["n_subdomains"] == 64
 
 
 def test_spec_with_substitutes_grid_axes():

@@ -59,3 +59,25 @@ def test_reset_gpu_timeline():
     assert cluster.streams[0].tail == 0.0
     # resetting a cluster that never created a device is a no-op
     ClusterResources(1, MachineConfig()).reset_gpu_timeline()
+
+
+@pytest.mark.parametrize("field", ["threads_per_cluster", "streams_per_cluster"])
+@pytest.mark.parametrize("value", [0, -1, -16])
+def test_machine_config_rejects_non_positive_worker_counts(field, value):
+    """Impossible resource counts fail at construction with a clear message,
+    not deep inside the engine (satellite of the runtime PR)."""
+    with pytest.raises(ValueError, match=field):
+        MachineConfig(**{field: value})
+
+
+@pytest.mark.parametrize("field", ["threads_per_cluster", "streams_per_cluster"])
+def test_machine_config_rejects_non_integer_worker_counts(field):
+    with pytest.raises(ValueError, match="integer"):
+        MachineConfig(**{field: 2.5})
+    with pytest.raises(ValueError, match="integer"):
+        MachineConfig(**{field: True})
+
+
+def test_machine_config_rejects_non_positive_gpu_memory():
+    with pytest.raises(ValueError, match="gpu_memory_bytes"):
+        MachineConfig(gpu_memory_bytes=0)

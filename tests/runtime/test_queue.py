@@ -1,0 +1,160 @@
+"""Tests of the concurrent solve queue (the "many users" serving path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session, SolverSpec, Workload
+from repro.runtime.queue import QueueSolution, SolveQueue
+
+HEAT = Workload("heat", 2, (2, 2), 4)
+HEAT_SMALL = Workload("heat", 2, (2, 1), 3)
+ELASTICITY = Workload("elasticity", 2, (2, 1), 3)
+
+BACKENDS = [None, "threads:2", "processes:2"]
+
+
+def _reference(workload, spec=None):
+    with Session(SolverSpec.of(spec)) as session:
+        return session.solve(workload)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_queue_reproduces_direct_session_solves(backend):
+    spec = SolverSpec(execution=backend) if backend else SolverSpec()
+    with Session(spec) as session:
+        queue = session.queue()
+        tickets = [queue.submit(w) for w in (HEAT, HEAT_SMALL, ELASTICITY)]
+        results = [t.result() for t in tickets]
+    for workload, result in zip((HEAT, HEAT_SMALL, ELASTICITY), results):
+        assert isinstance(result, QueueSolution)
+        reference = _reference(workload)
+        assert result.converged
+        assert result.iterations == reference.iterations
+        np.testing.assert_allclose(result.lam, reference.lam, rtol=1e-9, atol=1e-11)
+        for got, ref in zip(result.primal, reference.primal):
+            np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-11)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scalar_rhs_scales_the_declared_loads(backend):
+    spec = SolverSpec(execution=backend) if backend else SolverSpec()
+    with Session(spec) as session:
+        queue = session.queue()
+        base = queue.submit(HEAT).result()
+        scaled = queue.submit(HEAT, rhs=2.0).result()
+        again = queue.submit(HEAT).result()
+    # The dual problem is linear in the loads.
+    np.testing.assert_allclose(scaled.lam, 2.0 * base.lam, rtol=1e-6, atol=1e-9)
+    # Pristine loads are restored after a scaled request.
+    np.testing.assert_allclose(again.lam, base.lam, rtol=0, atol=0)
+
+
+def test_vector_rhs_replaces_the_loads():
+    with Session() as session:
+        problem = session.problem(HEAT)
+        doubled = [2.0 * sub.f for sub in problem.subdomains]
+        queue = session.queue()
+        base = queue.submit(HEAT).result()
+        custom = queue.submit(HEAT, rhs=doubled).result()
+        # Loads restored afterwards.
+        for sub, f in zip(problem.subdomains, session.base_loads(HEAT)):
+            assert np.array_equal(sub.f, f)
+    np.testing.assert_allclose(custom.lam, 2.0 * base.lam, rtol=1e-6, atol=1e-9)
+
+
+def test_rhs_validation_is_actionable():
+    with Session() as session:
+        queue = session.queue()
+        with pytest.raises(TypeError, match="rhs must be"):
+            queue.submit(HEAT, rhs=object())
+        bad_count = queue.submit(HEAT, rhs=[np.zeros(3)])
+        with pytest.raises(ValueError, match="load vectors"):
+            bad_count.result()
+
+
+def test_map_preserves_submission_order():
+    with Session(SolverSpec(execution="threads:2")) as session:
+        queue = session.queue()
+        results = queue.map([HEAT, (HEAT_SMALL, None), (HEAT, None, 3.0)])
+    assert len(results) == 3
+    np.testing.assert_allclose(results[2].lam, 3.0 * results[0].lam, rtol=1e-6, atol=1e-9)
+
+
+def test_gather_returns_all_tickets_in_order():
+    with Session() as session:
+        queue = session.queue()
+        queue.submit(HEAT)
+        queue.submit(HEAT_SMALL)
+        results = queue.gather()
+    assert len(results) == 2
+    assert queue.pending == 0
+
+
+def test_per_call_spec_override():
+    with Session(SolverSpec(approach="impl mkl")) as session:
+        queue = session.queue()
+        result = queue.submit(HEAT, spec=SolverSpec(approach="expl mkl")).result()
+    reference = _reference(HEAT, SolverSpec(approach="expl mkl"))
+    np.testing.assert_allclose(result.lam, reference.lam, rtol=1e-9, atol=1e-11)
+
+
+def test_process_queue_requests_share_warm_worker_sessions():
+    """Repeated process requests must not rebuild worker state per call."""
+    with Session(SolverSpec(execution="processes:1")) as session:
+        queue = session.queue()
+        first = queue.submit(HEAT).result()
+        second = queue.submit(HEAT).result()
+    assert np.array_equal(first.lam, second.lam)
+
+
+def test_queue_solution_is_picklable():
+    import pickle
+
+    with Session() as session:
+        result = session.queue().submit(HEAT_SMALL).result()
+    clone = pickle.loads(pickle.dumps(result))
+    assert np.array_equal(clone.lam, result.lam)
+    assert clone.iterations == result.iterations
+
+
+def test_ndarray_rhs_and_string_rejection():
+    """A stacked 2-D array is the natural numpy form of per-subdomain loads."""
+    with Session() as session:
+        problem = session.problem(HEAT)
+        stacked = np.stack([2.0 * sub.f for sub in problem.subdomains])
+        queue = session.queue()
+        base = queue.submit(HEAT).result()
+        custom = queue.submit(HEAT, rhs=stacked).result()
+        with pytest.raises(TypeError, match="rhs must be"):
+            queue.submit(HEAT, rhs="2.0")
+    np.testing.assert_allclose(custom.lam, 2.0 * base.lam, rtol=1e-6, atol=1e-9)
+
+
+def test_two_queues_share_the_session_workload_lock():
+    """Requests from separate queues must serialize on one workload.
+
+    Each request solves under a different load scaling; any interleaving of
+    the load mutation/restore across queues would break the exact linearity
+    of the results.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    with Session(SolverSpec(approach="expl mkl", execution="threads:2")) as session:
+        base = session.queue().submit(HEAT).result()
+        queues = [session.queue(), session.queue()]
+
+        def request(k: int):
+            scale = 1.0 + 0.5 * k
+            return scale, queues[k % 2].submit(HEAT, rhs=scale).result()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(request, range(8)))
+        # Direct session.solve traffic interleaves safely too.
+        direct = session.solve(HEAT)
+    np.testing.assert_allclose(direct.lam, base.lam, rtol=0, atol=0)
+    for scale, result in results:
+        np.testing.assert_allclose(
+            result.lam, scale * base.lam, rtol=1e-6, atol=1e-9
+        )
