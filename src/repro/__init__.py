@@ -58,9 +58,7 @@ _LAZY_EXPORTS: dict[str, str] = {
     "ScatterGatherDevice": "repro.feti.config",
     "FetiProblem": "repro.feti.problem",
     "FetiSolver": "repro.feti.solver",
-    "FetiSolverOptions": "repro.feti.solver",
     "MultiStepDriver": "repro.feti.solver",
-    "PcpgOptions": "repro.feti.pcpg",
     "PcpgResult": "repro.feti.pcpg",
     "HeatTransferProblem": "repro.fem.heat",
     "LinearElasticityProblem": "repro.fem.elasticity",

@@ -1,9 +1,9 @@
 """repro.api — the declarative Workload / SolverSpec / Session layer.
 
 This package is the single public entry point for configuring and running
-the reproduction.  It replaces the scattered PR-1/2/3 wiring
-(``FetiSolverOptions`` + ``PcpgOptions`` + ``AssemblyConfig`` +
-``MachineConfig`` + loose ``batched``/``blocked`` flags) with three objects:
+the reproduction.  It replaces the scattered PR-1/2/3 wiring (the legacy
+solver/PCPG option objects + ``AssemblyConfig`` + ``MachineConfig`` + loose
+``batched``/``blocked`` flags) with three objects:
 
 :class:`Workload`
     A frozen, validated, JSON-serializable description of *what* to solve:
@@ -26,9 +26,9 @@ the reproduction.  It replaces the scattered PR-1/2/3 wiring
     symbolic analysis, factorizations and persistent GPU structures
     automatically.
 
-The bench registry/runner, the examples and the sweep harness all construct
-their runs through this package; the legacy constructors remain as thin
-deprecation shims.
+The bench registry/runner, the examples, the sweep harness and the serve
+layer all construct their runs through this package; the legacy option
+shims were removed in PR 6.
 """
 
 from __future__ import annotations
@@ -40,6 +40,8 @@ from typing import Any
 #: repro.feti.solver ↔ repro.api.session import cycle).
 _LAZY_EXPORTS: dict[str, str] = {
     "ApiError": "repro.api.workload",
+    "SCHEMA_VERSION": "repro.api.workload",
+    "check_schema_version": "repro.api.workload",
     "Material": "repro.api.workload",
     "Workload": "repro.api.workload",
     "WorkloadError": "repro.api.workload",

@@ -309,8 +309,14 @@ class Session:
             with self._cache_lock:
                 self.stats.solves += 1
                 stale = (w, s) in self._stale_solvers
-                self._stale_solvers.discard((w, s))
-            return solver.solve(reuse_preprocessing=not stale)
+            solution = solver.solve(reuse_preprocessing=not stale)
+            # Clear the stale marker only after the solve succeeded: if it
+            # raises, the next solve must still see the solver as stale
+            # instead of reusing a factorization of mutated values.
+            if stale:
+                with self._cache_lock:
+                    self._stale_solvers.discard((w, s))
+            return solution
 
     def _run_schedule(
         self,

@@ -1,8 +1,8 @@
 """The consolidated :class:`SolverSpec`: *how* to solve a workload.
 
 One frozen, validated object absorbs everything that was previously spread
-over ``FetiSolverOptions`` (approach, preconditioner), ``PcpgOptions``
-(tolerances), ``MachineConfig`` (per-cluster threads/streams) and
+over the legacy solver/PCPG option objects (approach, preconditioner,
+tolerances), ``MachineConfig`` (per-cluster threads/streams) and
 ``AssemblyConfig`` (the Table-I explicit-assembly parameters), plus the
 ``batched``/``blocked`` execution toggles.
 
@@ -28,7 +28,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, fields
 from typing import Any
 
-from repro.api.workload import ApiError, whole_int
+from repro.api.workload import SCHEMA_VERSION, ApiError, check_schema_version, whole_int
 from repro.cluster.topology import MachineConfig
 from repro.feti.config import (
     AssemblyConfig,
@@ -39,7 +39,6 @@ from repro.feti.config import (
     RhsOrder,
     ScatterGatherDevice,
 )
-from repro.feti.pcpg import PcpgOptions
 from repro.feti.preconditioner import PreconditionerKind
 from repro.feti.problem import FetiProblem
 from repro.runtime.executor import ExecutionError, ExecutionSpec
@@ -242,14 +241,6 @@ class SolverSpec:
     # ------------------------------------------------------------------ #
     # Wiring helpers (consumed by FetiSolver / Session)                   #
     # ------------------------------------------------------------------ #
-    def pcpg_options(self) -> PcpgOptions:
-        """The PCPG iteration options of this spec."""
-        return PcpgOptions(
-            tolerance=self.tolerance,
-            max_iterations=self.max_iterations,
-            absolute_tolerance=self.absolute_tolerance,
-        )
-
     def resolve_execution(self) -> ExecutionSpec:
         """The concrete execution backend of this spec.
 
@@ -311,6 +302,7 @@ class SolverSpec:
         if isinstance(assembly, AssemblyConfig):
             assembly = _assembly_to_dict(assembly)
         return {
+            "schema_version": SCHEMA_VERSION,
             "approach": self.approach.value,
             "preconditioner": self.preconditioner.value,
             "tolerance": self.tolerance,
@@ -331,13 +323,15 @@ class SolverSpec:
             raise SpecError(
                 f"a solver spec must deserialize from a mapping, got {type(data).__name__}"
             )
+        payload = dict(data)
+        check_schema_version(payload.pop("schema_version", None), "solver spec", SpecError)
         known = {f.name for f in fields(cls)} - {"machine"}
-        unknown = sorted(set(data) - known)
+        unknown = sorted(set(payload) - known)
         if unknown:
             raise SpecError(
                 f"unknown solver-spec field(s) {unknown}; known fields: {sorted(known)}"
             )
-        return cls(**dict(data))
+        return cls(**payload)
 
     # ------------------------------------------------------------------ #
     # Presets                                                             #

@@ -33,6 +33,8 @@ __all__ = [
     "workload_preset",
     "workload_presets",
     "PHYSICS",
+    "SCHEMA_VERSION",
+    "check_schema_version",
 ]
 
 
@@ -42,6 +44,29 @@ class ApiError(ValueError):
 
 class WorkloadError(ApiError):
     """A workload failed validation or deserialization."""
+
+
+#: Version stamped into every serialized ``Workload``/``SolverSpec`` dict
+#: (and the serve wire envelope).  Bump when a serialized field changes
+#: meaning; ``from_dict`` keeps accepting version-less legacy dicts.
+SCHEMA_VERSION = 1
+
+
+def check_schema_version(
+    version: Any, what: str, exc: type[ApiError] = WorkloadError
+) -> None:
+    """Validate a serialized dict's ``schema_version`` field.
+
+    ``None`` (a version-less legacy dict) and the current version are
+    accepted; anything else is rejected with an actionable error.
+    """
+    if version is None or version == SCHEMA_VERSION:
+        return
+    raise exc(
+        f"{what} has schema_version {version!r} but this library speaks "
+        f"version {SCHEMA_VERSION}; re-serialize with a matching library "
+        "version or drop the field to opt into legacy parsing"
+    )
 
 
 #: Physics identifiers accepted by :class:`Workload`.
@@ -269,6 +294,7 @@ class Workload:
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "physics": self.physics,
             "dim": self.dim,
             "subdomains": list(self.subdomains),
@@ -288,7 +314,9 @@ class Workload:
             raise WorkloadError(
                 f"a workload must deserialize from a mapping, got {type(data).__name__}"
             )
-        kwargs = _checked_kwargs(cls, data, "workload")
+        payload = dict(data)
+        check_schema_version(payload.pop("schema_version", None), "workload")
+        kwargs = _checked_kwargs(cls, payload, "workload")
         for required in ("physics", "dim", "subdomains", "cells"):
             if required not in kwargs:
                 raise WorkloadError(

@@ -41,9 +41,11 @@ from repro.bench.runner import (
     run_scenario,
     write_record,
 )
+from repro.bench.serve_load import ServeScenario
 
 __all__ = [
     "Scenario",
+    "ServeScenario",
     "Workload",
     "build_feti_problem",
     "register",
@@ -66,18 +68,3 @@ __all__ = [
     "compare_records",
     "compare_directories",
 ]
-
-
-def __getattr__(name: str):
-    """Deprecated aliases kept for the legacy PR-2/3 wiring."""
-    if name == "WorkloadSpec":
-        import warnings
-
-        warnings.warn(
-            "repro.bench.WorkloadSpec is deprecated; use repro.api.Workload "
-            "(same fields, plus steps/load_ramp/material)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Workload
-    raise AttributeError(f"module 'repro.bench' has no attribute {name!r}")

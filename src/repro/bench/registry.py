@@ -15,13 +15,11 @@ executed with :func:`repro.analysis.sweep.sweep_configurations`.
 
 Since PR 4 a scenario's base workload *is* a :class:`repro.api.Workload` —
 the same declarative, JSON-serializable object the Session API and
-``repro-bench run --workload`` consume; ``WorkloadSpec`` remains as a
-deprecated alias.
+``repro-bench run --workload`` consume.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -44,19 +42,6 @@ __all__ = [
 ]
 
 _ALL_APPROACHES = tuple(DualOperatorApproach)
-
-
-def __getattr__(name: str) -> Any:
-    """Deprecated aliases kept for the legacy PR-2/3 wiring."""
-    if name == "WorkloadSpec":
-        warnings.warn(
-            "repro.bench.registry.WorkloadSpec is deprecated; use "
-            "repro.api.Workload (same fields, plus steps/load_ramp/material)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return Workload
-    raise AttributeError(f"module 'repro.bench.registry' has no attribute {name!r}")
 
 
 @dataclass

@@ -208,7 +208,19 @@ def run_scenario(
     that does not finish (e.g. a hung pool worker) raises
     :class:`PointTimeout` instead of stalling the run — CI's benchmark gate
     sets it so a wedged runtime worker fails fast.
+
+    Scenarios that measure something other than the operator grid (e.g. the
+    ``serve_load`` service scenario) provide their own ``run_record`` hook;
+    the runner delegates to it and wraps the record unchanged.
     """
+    run_record = getattr(scenario, "run_record", None)
+    if run_record is not None:
+        record = run_record(
+            check_invariants=check_invariants, point_timeout=point_timeout
+        )
+        empty = SweepResult(parameters=list(scenario.grid()))
+        return ScenarioResult(scenario=scenario, sweep=empty, record=record)
+
     qs: dict[tuple[Any, ...], np.ndarray] = {}
 
     def measure(

@@ -1,0 +1,216 @@
+"""The ``serve_load`` scenario: close-loop load against the HTTP service.
+
+Unlike the grid scenarios, this one measures the *service*: it boots a
+:class:`~repro.serve.server.SolveServer` on an ephemeral port, drives it
+with concurrent closed-loop clients through the request mix twice — a
+**cold** pass (every ``(workload, spec, rhs)`` fingerprint unseen, so every
+request runs a real solve) and a **warm** pass (the identical mix again, so
+every request is a result-cache hit) — and records p50/p95/p99 latency and
+throughput for both passes.
+
+Record shape: two points, ``cold`` and ``warm``.  Simulated solve metrics
+(ledger preprocessing/apply seconds, PCPG iterations — deterministic
+replays) are comparator-gated at the usual rtol; wall-clock latencies and
+throughput are recorded but not gated by default.  The run itself enforces
+the serving invariants: zero errors, a fully-hit warm pass, and warm p50
+strictly below cold p50 (a cache hit must beat a real solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.workload import Workload
+from repro.bench.registry import Scenario, register
+
+__all__ = ["ServeScenario", "SERVE_PRESETS", "SERVE_RHS_FACTORS"]
+
+#: Workload presets of the default request mix (two sparsity patterns, so
+#: the session pool demonstrably shares symbolic analyses within each).
+SERVE_PRESETS = ("heat-2d-quick", "elasticity-2d-quick")
+
+#: Scalar load factors multiplying each preset (distinct cache fingerprints).
+SERVE_RHS_FACTORS = (1.0, 2.0, 3.0)
+
+
+@dataclass
+class ServeScenario(Scenario):
+    """A load-generation scenario running against a live solve service."""
+
+    presets: tuple[str, ...] = SERVE_PRESETS
+    rhs_factors: tuple[float, ...] = SERVE_RHS_FACTORS
+    clients: int = 2
+    concurrency: int = 2
+    queue_limit: int = 8
+    serve_spec: str | None = None
+
+    def n_points(self) -> int:
+        # One cold and one warm pass over the full mix.
+        return 2
+
+    def request_mix(self) -> list[dict[str, Any]]:
+        """The kwargs of every request in one pass (cold == warm)."""
+        mix = []
+        for preset in self.presets:
+            for factor in self.rhs_factors:
+                entry: dict[str, Any] = {"workload": preset, "rhs": factor}
+                if self.serve_spec is not None:
+                    entry["spec"] = self.serve_spec
+                mix.append(entry)
+        return mix
+
+    def run_record(
+        self, check_invariants: bool = True, point_timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Boot a service, drive the cold and warm passes, build the record.
+
+        ``point_timeout`` bounds each *request* (the serve layer answers
+        ``504`` past it), so a wedged solve fails the run as an invariant
+        violation instead of hanging the bench job.
+        """
+        from repro.bench.runner import SCHEMA_VERSION as RECORD_SCHEMA_VERSION
+        from repro.bench.runner import environment_stamp
+        from repro.serve.loadgen import run_load
+        from repro.serve.server import ServeConfig, ServerThread
+
+        mix = self.request_mix()
+        if point_timeout is not None:
+            mix = [{**entry, "timeout": point_timeout} for entry in mix]
+        config = ServeConfig(
+            port=0,
+            spec=self.serve_spec,
+            concurrency=self.concurrency,
+            queue_limit=self.queue_limit,
+        )
+        with ServerThread(config) as server:
+            host, port = config.host, server.port
+            cold = run_load(host, port, mix, clients=self.clients, keep_replies=True)
+            warm = run_load(host, port, mix, clients=self.clients, keep_replies=True)
+            with_metrics = server.server.metrics.snapshot()
+            pool_stats = server.server.pool.stats()
+            cache_stats = server.server.cache.stats()
+
+        if check_invariants:
+            self._check_passes(cold, warm, len(mix))
+
+        points = [
+            self._point("cold", cold, expect_hits=0),
+            self._point("warm", warm, expect_hits=len(mix)),
+        ]
+        derived: dict[str, float] = {}
+        cold_p50 = cold.latency_percentiles().get("p50")
+        warm_p50 = warm.latency_percentiles().get("p50")
+        if cold_p50 and warm_p50:
+            derived["serve_warm_speedup[p50]"] = cold_p50 / warm_p50
+        return {
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "benchmark": self.name,
+            "scenario": {
+                "description": self.description,
+                "physics": self.base.physics,
+                "dim": self.base.dim,
+                "order": self.base.order,
+                "n_clusters": self.base.n_clusters,
+                "tags": sorted(self.tags),
+                "n_applies": self.n_applies,
+            },
+            "serve": {
+                "presets": list(self.presets),
+                "rhs_factors": list(self.rhs_factors),
+                "clients": self.clients,
+                "concurrency": self.concurrency,
+                "queue_limit": self.queue_limit,
+                "requests_per_pass": len(self.request_mix()),
+                "counters": with_metrics["counters"],
+                "result_cache": cache_stats,
+                "session_pool": {
+                    "sessions": pool_stats["sessions"],
+                    "evictions": pool_stats["evictions"],
+                },
+            },
+            "environment": environment_stamp(),
+            "points": points,
+            "derived": derived,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _check_passes(self, cold: Any, warm: Any, n_requests: int) -> None:
+        """The serving invariants every run must satisfy."""
+        from repro.bench.runner import InvariantViolation
+
+        for label, report, hits in (("cold", cold, 0), ("warm", warm, n_requests)):
+            if report.errors or report.timeouts_504:
+                raise InvariantViolation(
+                    f"scenario {self.name!r}: {label} pass had "
+                    f"{report.errors} error(s) and {report.timeouts_504} "
+                    "timeout(s); a healthy service completes the whole mix"
+                )
+            if report.completed != n_requests:
+                raise InvariantViolation(
+                    f"scenario {self.name!r}: {label} pass completed "
+                    f"{report.completed}/{n_requests} requests"
+                )
+            if report.cache_hits != hits:
+                raise InvariantViolation(
+                    f"scenario {self.name!r}: {label} pass hit the result "
+                    f"cache {report.cache_hits} time(s), expected {hits} — "
+                    "the fingerprint keying is broken"
+                )
+        cold_p50 = cold.latency_percentiles()["p50"]
+        warm_p50 = warm.latency_percentiles()["p50"]
+        if not warm_p50 < cold_p50:
+            raise InvariantViolation(
+                f"scenario {self.name!r}: warm (cache-hit) p50 "
+                f"{warm_p50 * 1e3:.2f} ms is not below cold p50 "
+                f"{cold_p50 * 1e3:.2f} ms — the result cache buys nothing"
+            )
+
+    def _point(self, key: str, report: Any, expect_hits: int) -> dict[str, Any]:
+        percentiles = report.latency_percentiles()
+        simulated = {
+            "preprocessing_seconds": 0.0,
+            "dual_apply_seconds": 0.0,
+            "pcpg_iterations": 0.0,
+        }
+        for reply in report.replies:
+            result = reply.get("result", {})
+            simulated["preprocessing_seconds"] += result.get("preprocessing_seconds", 0.0)
+            simulated["dual_apply_seconds"] += result.get("dual_apply_seconds", 0.0)
+            simulated["pcpg_iterations"] += float(result.get("iterations", 0))
+        return {
+            "key": key,
+            "invariants": {
+                "requests": report.completed,
+                "errors": report.errors,
+                "cache_hits": report.cache_hits,
+            },
+            "simulated": simulated,
+            "wall": {
+                "p50_seconds": percentiles.get("p50"),
+                "p95_seconds": percentiles.get("p95"),
+                "p99_seconds": percentiles.get("p99"),
+                "mean_seconds": percentiles.get("mean"),
+                "max_seconds": percentiles.get("max"),
+                "throughput_per_second": report.throughput,
+                "wall_seconds": report.wall_seconds,
+            },
+        }
+
+
+def _register_default() -> None:
+    register(
+        ServeScenario(
+            name="serve_load",
+            description=(
+                "HTTP service under concurrent closed-loop load: cold solves "
+                "vs warm result-cache hits, two workload patterns"
+            ),
+            base=Workload.from_preset(SERVE_PRESETS[0]),
+            tags=frozenset({"quick", "serve", "wall"}),
+            expected={"n_subdomains": 4, "kernel_dim": 1},
+        )
+    )
+
+
+_register_default()

@@ -27,8 +27,8 @@ from repro.feti.preconditioner import (
     IdentityPreconditioner,
     LumpedPreconditioner,
 )
-from repro.feti.pcpg import PcpgOptions, PcpgResult, pcpg
-from repro.feti.solver import FetiSolver, FetiSolverOptions, MultiStepDriver
+from repro.feti.pcpg import PcpgResult, pcpg
+from repro.feti.solver import FetiSolver, MultiStepDriver
 from repro.feti.autotune import recommend_assembly_config
 from repro.feti.operators import make_dual_operator
 
@@ -47,11 +47,9 @@ __all__ = [
     "IdentityPreconditioner",
     "LumpedPreconditioner",
     "DirichletPreconditioner",
-    "PcpgOptions",
     "PcpgResult",
     "pcpg",
     "FetiSolver",
-    "FetiSolverOptions",
     "MultiStepDriver",
     "recommend_assembly_config",
     "make_dual_operator",

@@ -13,28 +13,7 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["PcpgOptions", "PcpgResult", "pcpg"]
-
-
-@dataclass(frozen=True)
-class PcpgOptions:
-    """Options of the PCPG iteration.
-
-    Attributes
-    ----------
-    tolerance:
-        Relative tolerance on the projected-preconditioned residual norm
-        ``sqrt(wᵀ y)`` with respect to its initial value.
-    max_iterations:
-        Hard iteration cap.
-    absolute_tolerance:
-        Absolute floor on the same quantity (protects against a zero initial
-        residual).
-    """
-
-    tolerance: float = 1e-9
-    max_iterations: int = 500
-    absolute_tolerance: float = 1e-300
+__all__ = ["PcpgResult", "pcpg"]
 
 
 @dataclass
@@ -62,7 +41,10 @@ def pcpg(
     apply_M: Callable[[np.ndarray], np.ndarray],
     d: np.ndarray,
     lambda_0: np.ndarray,
-    options: PcpgOptions | None = None,
+    *,
+    tolerance: float = 1e-9,
+    max_iterations: int = 500,
+    absolute_tolerance: float = 1e-300,
     callback: Callable[[int, float], None] | None = None,
 ) -> PcpgResult:
     """Run Algorithm 1 of the paper.
@@ -79,12 +61,17 @@ def pcpg(
         Dual right-hand side ``d = B K⁺ f − c``.
     lambda_0:
         Feasible initial iterate (``Gᵀ λ₀ = e``).
-    options:
-        Iteration options.
+    tolerance:
+        Relative tolerance on the projected-preconditioned residual norm
+        ``sqrt(wᵀ y)`` with respect to its initial value.
+    max_iterations:
+        Hard iteration cap.
+    absolute_tolerance:
+        Absolute floor on the same quantity (protects against a zero initial
+        residual).
     callback:
         Optional per-iteration callback ``callback(k, residual_norm)``.
     """
-    opts = options or PcpgOptions()
     lam = np.array(lambda_0, dtype=float, copy=True)
     r = d - apply_F(lam)
     w = apply_P(r)
@@ -94,7 +81,7 @@ def pcpg(
     wy = float(w @ y)
     norm0 = np.sqrt(abs(wy))
     norms = [norm0]
-    if norm0 <= opts.absolute_tolerance:
+    if norm0 <= absolute_tolerance:
         return PcpgResult(
             lam=lam, iterations=0, converged=True, residual_norms=norms, final_residual=r
         )
@@ -105,7 +92,7 @@ def pcpg(
     # arrays of the whole solve, so the loop avoids allocating fresh
     # temporaries for ``delta * p`` / ``delta * q`` every iteration.
     scratch = np.empty_like(lam)
-    for k in range(opts.max_iterations):
+    for k in range(max_iterations):
         q = apply_F(p)
         pq = float(p @ q)
         if pq <= 0.0:
@@ -124,7 +111,7 @@ def pcpg(
         norms.append(norm)
         if callback is not None:
             callback(k + 1, norm)
-        if norm <= max(opts.tolerance * norm0, opts.absolute_tolerance):
+        if norm <= max(tolerance * norm0, absolute_tolerance):
             converged = True
             w, y, wy = w_next, y_next, wy_next
             k += 1
@@ -134,7 +121,7 @@ def pcpg(
         p += y_next
         w, y, wy = w_next, y_next, wy_next
     else:
-        k = opts.max_iterations
+        k = max_iterations
 
     return PcpgResult(
         lam=lam,

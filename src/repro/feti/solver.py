@@ -11,18 +11,15 @@ computed from a real run.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.analysis.timing import PhaseTiming
-from repro.cluster.topology import MachineConfig
-from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators import make_dual_operator
 from repro.feti.operators.base import DualOperatorBase
-from repro.feti.pcpg import PcpgOptions, PcpgResult, pcpg
+from repro.feti.pcpg import PcpgResult, pcpg
 from repro.feti.preconditioner import (
     DirichletPreconditioner,
     IdentityPreconditioner,
@@ -38,67 +35,10 @@ if TYPE_CHECKING:  # imported lazily at runtime (repro.api imports repro.feti)
 
 __all__ = [
     "PreconditionerKind",
-    "FetiSolverOptions",
     "FetiSolution",
     "FetiSolver",
     "MultiStepDriver",
 ]
-
-
-@dataclass(frozen=True)
-class FetiSolverOptions:
-    """Deprecated legacy options of the FETI solver.
-
-    .. deprecated::
-        Build a :class:`repro.api.SolverSpec` instead (see the README
-        migration guide).  This shim converts itself via :meth:`to_spec`
-        and preserves the historical semantics — in particular an
-        ``assembly_config`` on an approach that ignores it is silently
-        dropped, and ``assembly_config=None`` on a GPU approach selects the
-        Table-II recommendation automatically.
-    """
-
-    approach: DualOperatorApproach = DualOperatorApproach.IMPLICIT_MKL
-    preconditioner: PreconditionerKind = PreconditionerKind.LUMPED
-    pcpg: PcpgOptions = field(default_factory=PcpgOptions)
-    machine_config: MachineConfig | None = None
-    assembly_config: AssemblyConfig | None = None
-    batched: bool = True
-    blocked: bool = True
-
-    def __post_init__(self) -> None:
-        warnings.warn(
-            "FetiSolverOptions is deprecated; build a repro.api.SolverSpec "
-            "instead (see the README migration guide)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def to_spec(self) -> "SolverSpec":
-        """The equivalent :class:`repro.api.SolverSpec`.
-
-        Mirrors the legacy behavior exactly: explicit-GPU approaches without
-        an ``assembly_config`` get the Table-II auto-recommendation, and an
-        ``assembly_config`` on an approach that never consumes it is dropped
-        (the old wiring silently ignored it).
-        """
-        from repro.api.spec import SolverSpec
-
-        consumes_assembly = self.approach.is_explicit and self.approach.uses_gpu
-        assembly: AssemblyConfig | str | None = None
-        if consumes_assembly:
-            assembly = self.assembly_config if self.assembly_config is not None else "table2"
-        return SolverSpec(
-            approach=self.approach,
-            preconditioner=self.preconditioner,
-            tolerance=self.pcpg.tolerance,
-            max_iterations=self.pcpg.max_iterations,
-            absolute_tolerance=self.pcpg.absolute_tolerance,
-            machine=self.machine_config,
-            assembly=assembly,
-            batched=self.batched,
-            blocked=self.blocked,
-        )
 
 
 @dataclass
@@ -132,8 +72,7 @@ class FetiSolver:
     problem:
         The torn FETI problem.
     options:
-        A :class:`repro.api.SolverSpec` (or a spec preset name); the legacy
-        :class:`FetiSolverOptions` is still accepted and converted.
+        A :class:`repro.api.SolverSpec` (or a spec preset name).
     pattern_cache:
         Optional :class:`~repro.sparse.cache.PatternCache` shared across
         solvers — a :class:`repro.api.Session` passes its own so symbolic
@@ -144,7 +83,7 @@ class FetiSolver:
     def __init__(
         self,
         problem: FetiProblem,
-        options: "SolverSpec | FetiSolverOptions | str | None" = None,
+        options: "SolverSpec | str | None" = None,
         *,
         pattern_cache: PatternCache | None = None,
         executor=None,
@@ -152,10 +91,7 @@ class FetiSolver:
         from repro.api.spec import SolverSpec
 
         self.problem = problem
-        if isinstance(options, FetiSolverOptions):
-            spec = options.to_spec()
-        else:
-            spec = SolverSpec.of(options)
+        spec = SolverSpec.of(options)
         self.spec = spec
         #: Normalized options (always a :class:`SolverSpec` since PR 4).
         self.options = spec
@@ -239,7 +175,9 @@ class FetiSolver:
             apply_M=self.preconditioner.apply,
             d=d,
             lambda_0=lambda_0,
-            options=self.spec.pcpg_options(),
+            tolerance=self.spec.tolerance,
+            max_iterations=self.spec.max_iterations,
+            absolute_tolerance=self.spec.absolute_tolerance,
         )
         apply_phases = self.operator.ledger.phases
         dual_apply_seconds = sum(

@@ -20,6 +20,14 @@ Requests accept an optional ``rhs``: ``None`` solves the workload's declared
 loads, a scalar scales them, and a sequence of per-subdomain arrays replaces
 them outright — the problem's pristine loads are restored after every
 request, so queue traffic never leaks state between users.
+
+**Error isolation contract**: a malformed or failing request surfaces its
+exception through *that request's* ticket only (``submit`` itself never
+raises) — a poison request cannot stall the queue, corrupt the session's
+shared caches, or affect requests submitted before or after it.  Process
+workers re-raise failures as :class:`QueueRequestError` carrying the
+worker-side traceback text, so a crashing request can never kill a pool
+worker with an unpicklable exception.
 """
 
 from __future__ import annotations
@@ -39,7 +47,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.workload import Workload
     from repro.feti.solver import FetiSolution
 
-__all__ = ["QueueSolution", "SolveTicket", "SolveQueue"]
+__all__ = ["QueueRequestError", "QueueSolution", "SolveTicket", "SolveQueue"]
+
+
+class QueueRequestError(RuntimeError):
+    """A queued request failed in a process worker.
+
+    Carries the worker-side traceback as plain text, so it is always
+    picklable regardless of what the original exception type was.
+    """
 
 
 @dataclass
@@ -69,20 +85,44 @@ class QueueSolution:
 
 @dataclass
 class SolveTicket:
-    """Handle of one submitted request (submission order preserved)."""
+    """Handle of one submitted request (submission order preserved).
+
+    ``workload`` is ``None`` when the request was rejected before its
+    workload could even be resolved (the rejection lives in ``future``).
+    """
 
     request_id: int
-    workload: "Workload"
+    workload: "Workload | None"
     future: Future
 
     def result(self, timeout: float | None = None) -> QueueSolution:
         """Block until the request's solution is available."""
         return self.future.result(timeout)
 
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The request's exception, or ``None`` if it succeeded."""
+        return self.future.exception(timeout)
+
+    def cancel(self) -> bool:
+        """Cancel the request if it has not started running yet."""
+        return self.future.cancel()
+
     @property
     def done(self) -> bool:
         """Whether the request has finished."""
         return self.future.done()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the request was cancelled before it ran."""
+        return self.future.cancelled()
+
+
+def _failed_future(exc: BaseException) -> Future:
+    """A completed future carrying a submission-time rejection."""
+    future: Future = Future()
+    future.set_exception(exc)
+    return future
 
 
 def _normalize_rhs(rhs: Any) -> float | list[np.ndarray] | None:
@@ -163,13 +203,27 @@ def _solve_request_in_session(
 
 
 def _process_solve(payload: tuple) -> QueueSolution:
-    """Module-level process task: solve one request in a worker session."""
+    """Module-level process task: solve one request in a worker session.
+
+    Failures re-raise as :class:`QueueRequestError` with the formatted
+    worker traceback: always picklable, so a poison request reports through
+    its own future instead of corrupting the pool's result channel, and the
+    worker (with its warmed session) survives to serve later requests.
+    """
+    import traceback
+
     from repro.api.workload import Workload
 
     workload_dict, spec_dict, rhs = payload
-    session = _worker_session(spec_dict)
-    workload = Workload.from_dict(workload_dict)
-    return _solve_request_in_session(session, workload, session.spec, rhs)
+    try:
+        session = _worker_session(spec_dict)
+        workload = Workload.from_dict(workload_dict)
+        return _solve_request_in_session(session, workload, session.spec, rhs)
+    except Exception as exc:
+        detail = traceback.format_exc()
+        raise QueueRequestError(
+            f"queued solve request failed in a process worker: {exc}\n{detail}"
+        ) from None
 
 
 # --------------------------------------------------------------------- #
@@ -230,10 +284,23 @@ class SolveQueue:
         spec: "SolverSpec | str | None" = None,
         rhs: Any = None,
     ) -> SolveTicket:
-        """Enqueue one request; returns its ticket immediately."""
-        w = self.session.resolve_workload(workload)
-        s = self.session.resolve_spec(spec)
-        request_rhs = _normalize_rhs(rhs)
+        """Enqueue one request; returns its ticket immediately.
+
+        Never raises: a malformed workload/spec/rhs is reported through the
+        returned ticket's future, so one bad request in a submission batch
+        cannot prevent the others from being enqueued.
+        """
+        w = None
+        try:
+            w = self.session.resolve_workload(workload)
+            s = self.session.resolve_spec(spec)
+            request_rhs = _normalize_rhs(rhs)
+        except Exception as exc:
+            ticket = SolveTicket(
+                request_id=len(self._tickets), workload=w, future=_failed_future(exc)
+            )
+            self._tickets.append(ticket)
+            return ticket
 
         if self.executor.backend == "processes":
             spec_dict = s.to_dict()

@@ -1,0 +1,74 @@
+"""The request/result cache of the solve service.
+
+An LRU over fully rendered response payloads, keyed by the
+``(workload, spec, rhs)`` content hash of
+:func:`repro.serve.protocol.request_fingerprint`.  A hit returns the stored
+payload without touching a session (and without consuming an admission
+slot); hit/miss counters feed ``GET /v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of response payloads.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; the least recently used entry is evicted beyond it.
+        ``0`` disables caching (every lookup is a miss, nothing is stored).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The payload stored under ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store a payload (evicting the LRU entry when full)."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for ``GET /v1/metrics``."""
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._entries)
+        total = hits + misses
+        return {
+            "entries": size,
+            "max_entries": self.max_entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        }

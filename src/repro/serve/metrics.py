@@ -1,0 +1,70 @@
+"""Service metrics: request counters and latency percentiles.
+
+The window is a bounded deque of recent request latencies; percentiles are
+computed on demand by ``GET /v1/metrics`` (nearest-rank on the sorted
+window).  All methods are thread-safe — solve worker threads record while
+the asyncio loop snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Any
+
+__all__ = ["ServeMetrics", "percentile"]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty window")
+    rank = max(1, round(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class ServeMetrics:
+    """Counters + a sliding latency window for one service instance."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._started = time.monotonic()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a named counter."""
+        with self._lock:
+            self._counters[name] += n
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's wall latency into the window."""
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The metrics document served by ``GET /v1/metrics``."""
+        with self._lock:
+            counters = dict(self._counters)
+            window = sorted(self._latencies)
+            uptime = time.monotonic() - self._started
+        latency: dict[str, Any] = {"window": len(window)}
+        if window:
+            latency.update(
+                p50=percentile(window, 50),
+                p95=percentile(window, 95),
+                p99=percentile(window, 99),
+                mean=sum(window) / len(window),
+                max=window[-1],
+            )
+        return {
+            "uptime_seconds": uptime,
+            "counters": counters,
+            "latency_seconds": latency,
+        }

@@ -1,0 +1,149 @@
+"""The session pool: one :class:`~repro.api.Session` per workload pattern.
+
+Requests whose workloads share a sparsity pattern (same physics, dimension,
+grids, element order, clusters and Dirichlet faces — see
+:func:`repro.serve.protocol.pattern_key`) are routed to one pooled session,
+so they share its :class:`~repro.sparse.cache.PatternCache`, built problems
+and prepared solvers: N same-pattern requests pay for exactly one symbolic
+analysis.  Each pooled session also carries one
+:class:`~repro.runtime.queue.SolveQueue`, the error-isolated execution path
+every request runs through.
+
+The pool is a bounded LRU: evicting a pattern closes its session's worker
+pools.  Entries are created under the pool lock but solved *outside* it, so
+slow solves on one pattern never block admission of another.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api import Session, SolverSpec, Workload
+from repro.runtime.queue import SolveQueue
+from repro.serve.protocol import pattern_key
+
+__all__ = ["SessionPool", "PoolEntry"]
+
+
+@dataclass
+class PoolEntry:
+    """One pooled pattern: its session, solve queue and usage counters."""
+
+    key: tuple
+    session: Session
+    queue: SolveQueue
+    requests: int = 0
+    #: Guards queue submission for this entry (SolveQueue ticket bookkeeping
+    #: is not thread-safe; the solve itself serializes on the session's
+    #: per-workload locks).
+    submit_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def solve(self, workload: Workload, spec: SolverSpec | None, rhs: Any):
+        """Run one request through the entry's queue (blocking)."""
+        with self.submit_lock:
+            ticket = self.queue.submit(workload, spec, rhs)
+        return ticket.result()
+
+
+class SessionPool:
+    """A bounded LRU of pattern-keyed sessions.
+
+    Parameters
+    ----------
+    spec:
+        Default solver configuration of every pooled session (requests may
+        override per call).  The serve layer forces the serial execution
+        backend inside sessions — concurrency lives in the HTTP tier's
+        thread pool, and nesting a worker pool per session would
+        oversubscribe the host.
+    max_sessions:
+        Pattern capacity; the least recently used pattern is evicted (and
+        its session closed) beyond it.
+    """
+
+    def __init__(self, spec: SolverSpec | str | None = None, max_sessions: int = 8) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
+        from repro.runtime.executor import ExecutionSpec
+
+        base = SolverSpec.of(spec)
+        # Force the serial backend explicitly: execution=None would resolve
+        # to the process-wide default (REPRO_EXECUTOR), and a worker pool
+        # nested inside each pooled session would oversubscribe the host.
+        serial = ExecutionSpec()
+        if base.execution != serial:
+            payload = base.to_dict()
+            payload["execution"] = serial.to_dict()
+            base = SolverSpec.from_dict(payload)
+        self.spec = base
+        self.max_sessions = max_sessions
+        self._entries: OrderedDict[tuple, PoolEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def entry_for(self, workload: Workload) -> PoolEntry:
+        """The pooled entry serving a workload's pattern (created on miss)."""
+        key = pattern_key(workload)
+        evicted: PoolEntry | None = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                session = Session(self.spec)
+                entry = PoolEntry(key=key, session=session, queue=session.queue())
+                self._entries[key] = entry
+                if len(self._entries) > self.max_sessions:
+                    _, evicted = self._entries.popitem(last=False)
+                    self.evictions += 1
+            self._entries.move_to_end(key)
+            entry.requests += 1
+        if evicted is not None:
+            evicted.queue.close()
+            evicted.session.close()
+        return entry
+
+    def close(self) -> None:
+        """Close every pooled session (idempotent)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.queue.close()
+            entry.session.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregated per-pattern cache statistics for ``GET /v1/metrics``."""
+        with self._lock:
+            entries = list(self._entries.items())
+            evictions = self.evictions
+        patterns = []
+        for key, entry in entries:
+            stats = entry.session.cache_stats()
+            patterns.append(
+                {
+                    "pattern": list(key[:2]) + [list(key[2]), *key[3:6], list(key[6])],
+                    "requests": entry.requests,
+                    "symbolic_analyses": stats["symbolic_analyses"],
+                    "pattern_hits": stats["pattern_hits"],
+                    "solves": stats["solves"],
+                    "solver_reuses": stats["solver_reuses"],
+                }
+            )
+        return {
+            "sessions": len(entries),
+            "max_sessions": self.max_sessions,
+            "evictions": evictions,
+            "patterns": patterns,
+        }

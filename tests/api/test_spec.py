@@ -109,11 +109,11 @@ def test_machine_config_resolution():
     assert SolverSpec(machine=machine).machine_config() is machine
 
 
-def test_pcpg_options_carry_all_tolerances():
-    opts = SolverSpec(tolerance=1e-7, max_iterations=42, absolute_tolerance=1e-20).pcpg_options()
-    assert opts.tolerance == 1e-7
-    assert opts.max_iterations == 42
-    assert opts.absolute_tolerance == 1e-20
+def test_spec_carries_all_pcpg_tolerances():
+    spec = SolverSpec(tolerance=1e-7, max_iterations=42, absolute_tolerance=1e-20)
+    assert spec.tolerance == 1e-7
+    assert spec.max_iterations == 42
+    assert spec.absolute_tolerance == 1e-20
 
 
 def test_table2_assembly_resolves_per_problem():
@@ -161,6 +161,20 @@ def test_from_dict_rejects_unknown_fields():
         SolverSpec.from_dict({"approachh": "impl mkl"})
 
 
+def test_spec_serialization_is_schema_versioned():
+    from repro.api import SCHEMA_VERSION
+
+    data = SolverSpec().to_dict()
+    assert data["schema_version"] == SCHEMA_VERSION
+    # Versionless legacy dicts stay accepted.
+    del data["schema_version"]
+    assert SolverSpec.from_dict(data) == SolverSpec()
+    # Unknown versions are rejected with an actionable error.
+    data["schema_version"] = 999
+    with pytest.raises(SpecError, match="schema_version 999.*this library speaks"):
+        SolverSpec.from_dict(data)
+
+
 def test_unknown_preset_lists_known_names():
     with pytest.raises(KeyError, match="gpu-modern"):
         SolverSpec.from_preset("warp-drive")
@@ -183,36 +197,24 @@ def test_of_normalizes_none_presets_and_specs():
 
 
 # --------------------------------------------------------------------- #
-# Legacy shim                                                            #
+# Legacy shim removal (PR 6)                                             #
 # --------------------------------------------------------------------- #
 
 
-def test_legacy_options_warn_and_convert():
-    from repro.feti.pcpg import PcpgOptions
-    from repro.feti.solver import FetiSolverOptions
+def test_legacy_option_shims_are_gone():
+    """The PR-4 deprecation timeline removed the shims in PR 6."""
+    import repro
+    import repro.feti.pcpg
+    import repro.feti.solver
 
-    with pytest.warns(DeprecationWarning, match="FetiSolverOptions is deprecated"):
-        legacy = FetiSolverOptions(
-            approach=DualOperatorApproach.EXPLICIT_GPU_MODERN,
-            pcpg=PcpgOptions(tolerance=1e-8, max_iterations=99),
-            batched=False,
-        )
-    spec = legacy.to_spec()
-    assert spec.approach is DualOperatorApproach.EXPLICIT_GPU_MODERN
-    assert spec.assembly == "table2"  # legacy auto-recommendation preserved
-    assert spec.tolerance == 1e-8 and spec.max_iterations == 99
-    assert spec.batched is False
-
-
-def test_legacy_options_drop_ignored_assembly_config():
-    """The old wiring silently ignored assembly_config on CPU approaches."""
-    from repro.feti.solver import FetiSolverOptions
-
-    with pytest.warns(DeprecationWarning):
-        legacy = FetiSolverOptions(
-            approach=DualOperatorApproach.IMPLICIT_MKL, assembly_config=AssemblyConfig()
-        )
-    assert legacy.to_spec().assembly is None
+    with pytest.raises(ImportError):
+        from repro.feti.solver import FetiSolverOptions  # noqa: F401
+    with pytest.raises(ImportError):
+        from repro.feti.pcpg import PcpgOptions  # noqa: F401
+    with pytest.raises(AttributeError):
+        repro.FetiSolverOptions
+    with pytest.raises(AttributeError):
+        repro.PcpgOptions
 
 
 def test_feti_solver_accepts_spec_and_preset_names():

@@ -123,6 +123,26 @@ def test_from_dict_rejects_unknown_and_missing_fields():
         Workload.from_json("{nope")
 
 
+def test_to_dict_stamps_the_schema_version():
+    from repro.api import SCHEMA_VERSION
+
+    data = Workload("heat", 2, (2, 2), 4).to_dict()
+    assert data["schema_version"] == SCHEMA_VERSION
+
+
+def test_from_dict_accepts_versionless_legacy_dicts():
+    data = Workload("heat", 2, (2, 2), 4).to_dict()
+    del data["schema_version"]
+    assert Workload.from_dict(data) == Workload("heat", 2, (2, 2), 4)
+
+
+def test_from_dict_rejects_unknown_schema_versions_actionably():
+    data = Workload("heat", 2, (2, 2), 4).to_dict()
+    data["schema_version"] = 999
+    with pytest.raises(WorkloadError, match="schema_version 999.*this library speaks"):
+        Workload.from_dict(data)
+
+
 @st.composite
 def workloads(draw) -> Workload:
     """A fuzzed corpus of *valid* workloads."""

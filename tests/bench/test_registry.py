@@ -75,10 +75,15 @@ def test_workload_spec_validation():
         Workload("heat", 3, (2, 2), 4)
 
 
-def test_workload_spec_alias_is_deprecated():
-    with pytest.warns(DeprecationWarning, match="WorkloadSpec is deprecated"):
-        from repro.bench.registry import WorkloadSpec
-    assert WorkloadSpec is Workload
+def test_workload_spec_alias_is_removed():
+    """The deprecated PR-2/3 alias was removed in PR 6."""
+    import repro.bench
+    import repro.bench.registry as reg_module
+
+    with pytest.raises(AttributeError):
+        reg_module.WorkloadSpec
+    with pytest.raises(AttributeError):
+        repro.bench.WorkloadSpec
 
 
 def test_scenario_grid_axes_and_point_count():

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.feti.pcpg import PcpgOptions, PcpgResult, pcpg
+from repro.feti.pcpg import PcpgResult, pcpg
 
 
 def _identity(x):
@@ -28,7 +28,8 @@ def test_pcpg_solves_unconstrained_spd_system():
         apply_M=_identity,
         d=d,
         lambda_0=np.zeros(n),
-        options=PcpgOptions(tolerance=1e-12, max_iterations=200),
+        tolerance=1e-12,
+        max_iterations=200,
     )
     assert result.converged
     assert np.allclose(F @ result.lam, d, atol=1e-6)
@@ -51,7 +52,8 @@ def test_pcpg_with_projector_stays_in_subspace():
         apply_M=_identity,
         d=d,
         lambda_0=lam0,
-        options=PcpgOptions(tolerance=1e-11, max_iterations=200),
+        tolerance=1e-11,
+        max_iterations=200,
     )
     assert result.converged
     # the constraint G^T lambda = G^T lambda_0 is preserved by the projection
@@ -66,10 +68,10 @@ def test_preconditioner_reduces_iteration_count():
     diag = np.logspace(0, 4, n)
     F = np.diag(diag)
     d = rng.standard_normal(n)
-    opts = PcpgOptions(tolerance=1e-10, max_iterations=500)
-    plain = pcpg(lambda x: F @ x, _identity, _identity, d, np.zeros(n), opts)
+    opts = dict(tolerance=1e-10, max_iterations=500)
+    plain = pcpg(lambda x: F @ x, _identity, _identity, d, np.zeros(n), **opts)
     precond = pcpg(
-        lambda x: F @ x, _identity, lambda x: x / diag, d, np.zeros(n), opts
+        lambda x: F @ x, _identity, lambda x: x / diag, d, np.zeros(n), **opts
     )
     assert precond.converged
     assert precond.iterations < plain.iterations
@@ -91,7 +93,7 @@ def test_max_iterations_reported_as_not_converged():
     d = np.ones(n)
     result = pcpg(
         lambda x: F @ x, _identity, _identity, d, np.zeros(n),
-        PcpgOptions(tolerance=1e-14, max_iterations=3),
+        tolerance=1e-14, max_iterations=3,
     )
     assert not result.converged
     assert result.iterations == 3
@@ -104,7 +106,7 @@ def test_callback_invoked_each_iteration():
     calls = []
     pcpg(
         lambda x: F @ x, _identity, _identity, np.ones(n), np.zeros(n),
-        PcpgOptions(tolerance=1e-10, max_iterations=100),
+        tolerance=1e-10, max_iterations=100,
         callback=lambda k, norm: calls.append((k, norm)),
     )
     assert len(calls) >= 1

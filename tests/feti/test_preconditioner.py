@@ -10,8 +10,8 @@ from repro.feti.preconditioner import (
     IdentityPreconditioner,
     LumpedPreconditioner,
 )
-from repro.feti.pcpg import PcpgOptions
-from repro.feti.solver import FetiSolver, FetiSolverOptions, PreconditionerKind
+from repro.api import SolverSpec
+from repro.feti.solver import FetiSolver, PreconditionerKind
 
 
 def test_identity_returns_input(heat_problem_2d):
@@ -49,8 +49,8 @@ def test_preconditioner_linear(heat_problem_2d, cls):
 )
 def test_all_preconditioners_converge_to_same_solution(heat_problem_2d, kind):
     reference = None
-    options = FetiSolverOptions(
-        preconditioner=kind, pcpg=PcpgOptions(tolerance=1e-10, max_iterations=300)
+    options = SolverSpec(
+        preconditioner=kind, tolerance=1e-10, max_iterations=300
     )
     solver = FetiSolver(heat_problem_2d, options)
     solution = solver.solve()
@@ -63,8 +63,8 @@ def test_all_preconditioners_converge_to_same_solution(heat_problem_2d, kind):
 def test_preconditioning_reduces_iterations(elasticity_problem_2d):
     """The lumped preconditioner should not need more iterations than none."""
     def run(kind):
-        opts = FetiSolverOptions(
-            preconditioner=kind, pcpg=PcpgOptions(tolerance=1e-8, max_iterations=400)
+        opts = SolverSpec(
+            preconditioner=kind, tolerance=1e-8, max_iterations=400
         )
         return FetiSolver(elasticity_problem_2d, opts).solve().iterations
 

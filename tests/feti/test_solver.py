@@ -7,22 +7,22 @@ import pytest
 
 from repro.decomposition import decompose_box
 from repro.feti.config import DualOperatorApproach
-from repro.feti.pcpg import PcpgOptions
+from repro.api import SolverSpec
 from repro.feti.problem import FetiProblem
 from repro.feti.solver import (
     FetiSolver,
-    FetiSolverOptions,
     MultiStepDriver,
     PreconditionerKind,
 )
 
 
 def _solve(problem, approach, machine_config, tol=1e-10):
-    options = FetiSolverOptions(
+    options = SolverSpec(
         approach=approach,
         preconditioner=PreconditionerKind.LUMPED,
-        pcpg=PcpgOptions(tolerance=tol, max_iterations=400),
-        machine_config=machine_config,
+        tolerance=tol,
+        max_iterations=400,
+        machine=machine_config,
     )
     return FetiSolver(problem, options).solve()
 
@@ -97,9 +97,10 @@ def test_solution_timings_populated(heat_problem_2d, small_machine_config):
 def test_gpu_approach_autoselects_table2_configuration(
     heat_problem_2d, small_machine_config
 ):
-    options = FetiSolverOptions(
+    options = SolverSpec(
         approach=DualOperatorApproach.EXPLICIT_GPU_MODERN,
-        machine_config=small_machine_config,
+        machine=small_machine_config,
+        assembly="table2",
     )
     solver = FetiSolver(heat_problem_2d, options)
     config = solver.operator.config
@@ -110,10 +111,12 @@ def test_gpu_approach_autoselects_table2_configuration(
 
 
 def test_multistep_driver_runs_algorithm_2(heat_problem_3d, small_machine_config):
-    options = FetiSolverOptions(
+    options = SolverSpec(
         approach=DualOperatorApproach.EXPLICIT_GPU_MODERN,
-        machine_config=small_machine_config,
-        pcpg=PcpgOptions(tolerance=1e-8, max_iterations=200),
+        machine=small_machine_config,
+        assembly="table2",
+        tolerance=1e-8,
+        max_iterations=200,
     )
     solver = FetiSolver(heat_problem_3d, options)
 
@@ -137,8 +140,8 @@ def test_multistep_driver_runs_algorithm_2(heat_problem_3d, small_machine_config
 
 
 def test_solver_reuse_preprocessing_flag(heat_problem_2d, small_machine_config):
-    options = FetiSolverOptions(
-        approach=DualOperatorApproach.IMPLICIT_MKL, machine_config=small_machine_config
+    options = SolverSpec(
+        approach=DualOperatorApproach.IMPLICIT_MKL, machine=small_machine_config
     )
     solver = FetiSolver(heat_problem_2d, options)
     solver.preprocess()
@@ -153,10 +156,11 @@ def test_batched_and_looped_solvers_produce_identical_solutions(
     """The batched engine is an execution strategy, not a numerical change."""
     solutions = {}
     for batched in (False, True):
-        options = FetiSolverOptions(
+        options = SolverSpec(
             approach=DualOperatorApproach.EXPLICIT_MKL,
-            machine_config=small_machine_config,
-            pcpg=PcpgOptions(tolerance=1e-11, max_iterations=400),
+            machine=small_machine_config,
+            tolerance=1e-11,
+            max_iterations=400,
             batched=batched,
         )
         solutions[batched] = FetiSolver(heat_problem_2d, options).solve()
@@ -172,9 +176,9 @@ def test_batched_and_looped_solvers_produce_identical_solutions(
 def test_multistep_driver_records_accumulate_across_runs(
     heat_problem_2d, small_machine_config
 ):
-    options = FetiSolverOptions(
+    options = SolverSpec(
         approach=DualOperatorApproach.IMPLICIT_MKL,
-        machine_config=small_machine_config,
+        machine=small_machine_config,
     )
     driver = MultiStepDriver(FetiSolver(heat_problem_2d, options))
     first = driver.run(2)
@@ -192,9 +196,9 @@ def test_multistep_driver_records_accumulate_across_runs(
 def test_solver_reuse_preprocessing_reuses_ledger_phase(
     heat_problem_2d, small_machine_config
 ):
-    options = FetiSolverOptions(
+    options = SolverSpec(
         approach=DualOperatorApproach.EXPLICIT_MKL,
-        machine_config=small_machine_config,
+        machine=small_machine_config,
     )
     solver = FetiSolver(heat_problem_2d, options)
     first = solver.solve()

@@ -15,18 +15,21 @@ from repro.decomposition import decompose_box
 from repro.fem.elasticity import LinearElasticityProblem
 from repro.fem.heat import HeatTransferProblem
 from repro.feti.config import DualOperatorApproach
-from repro.feti.pcpg import PcpgOptions
+from repro.api import SolverSpec
 from repro.feti.problem import FetiProblem
-from repro.feti.solver import FetiSolver, FetiSolverOptions, PreconditionerKind
+from repro.feti.solver import FetiSolver, PreconditionerKind
 from repro.analysis.amortization import ApproachTiming, amortization_point
 
 
 def _options(approach, machine_config, tol=1e-9):
-    return FetiSolverOptions(
+    assembly = "table2" if (approach.is_explicit and approach.uses_gpu) else None
+    return SolverSpec(
         approach=approach,
         preconditioner=PreconditionerKind.LUMPED,
-        pcpg=PcpgOptions(tolerance=tol, max_iterations=500),
-        machine_config=machine_config,
+        tolerance=tol,
+        max_iterations=500,
+        machine=machine_config,
+        assembly=assembly,
     )
 
 

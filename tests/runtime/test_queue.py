@@ -67,8 +67,11 @@ def test_vector_rhs_replaces_the_loads():
 def test_rhs_validation_is_actionable():
     with Session() as session:
         queue = session.queue()
+        # submit never raises: the rejection lives in the ticket's future.
+        bad_type = queue.submit(HEAT, rhs=object())
         with pytest.raises(TypeError, match="rhs must be"):
-            queue.submit(HEAT, rhs=object())
+            bad_type.result()
+        assert bad_type.exception() is not None
         bad_count = queue.submit(HEAT, rhs=[np.zeros(3)])
         with pytest.raises(ValueError, match="load vectors"):
             bad_count.result()
@@ -128,8 +131,94 @@ def test_ndarray_rhs_and_string_rejection():
         base = queue.submit(HEAT).result()
         custom = queue.submit(HEAT, rhs=stacked).result()
         with pytest.raises(TypeError, match="rhs must be"):
-            queue.submit(HEAT, rhs="2.0")
+            queue.submit(HEAT, rhs="2.0").result()
     np.testing.assert_allclose(custom.lam, 2.0 * base.lam, rtol=1e-6, atol=1e-9)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_poison_request_does_not_stall_or_corrupt_later_requests(backend):
+    """Error isolation: a failing request reports through its own ticket only."""
+    spec = SolverSpec(execution=backend) if backend else SolverSpec()
+    with Session(spec) as session:
+        queue = session.queue()
+        before = queue.submit(HEAT)
+        # Three distinct poison flavours: unresolvable workload (submit-time),
+        # bad rhs type (submit-time), bad rhs length (solve-time).
+        poison = [
+            queue.submit("no-such-preset"),
+            queue.submit(HEAT, rhs=object()),
+            queue.submit(HEAT, rhs=[np.zeros(3)]),
+        ]
+        after = queue.submit(HEAT)
+        for ticket in poison:
+            assert ticket.exception(timeout=60) is not None
+            with pytest.raises(Exception):
+                ticket.result()
+        # Healthy requests bracketing the poison are unaffected and identical.
+        np.testing.assert_allclose(
+            before.result().lam, after.result().lam, rtol=0, atol=0
+        )
+        # The session keeps serving new requests after the failures.
+        again = queue.submit(HEAT, rhs=2.0).result()
+    np.testing.assert_allclose(again.lam, 2.0 * before.result().lam, rtol=1e-6, atol=1e-9)
+
+
+def test_process_poison_request_error_is_picklable_and_worker_survives():
+    from repro.runtime.queue import QueueRequestError
+
+    with Session(SolverSpec(execution="processes:1")) as session:
+        queue = session.queue()
+        bad = queue.submit(HEAT, rhs=[np.zeros(3)])
+        exc = bad.exception(timeout=120)
+        assert isinstance(exc, QueueRequestError)
+        assert "load vectors" in str(exc)
+        # The single pool worker survived the poison request.
+        good = queue.submit(HEAT).result()
+        assert good.converged
+
+
+def test_ticket_cancellation():
+    """Unstarted requests can be cancelled; cancelled tickets report it."""
+    with Session(SolverSpec(execution="threads:1")) as session:
+        queue = session.queue()
+        tickets = [queue.submit(HEAT_SMALL) for _ in range(6)]
+        cancelled = [t for t in tickets if t.cancel()]
+        for t in tickets:
+            if t.cancelled:
+                assert t.done
+            else:
+                assert t.result(timeout=120).converged
+        # Cancellation is best-effort: at least the queue stayed consistent.
+        assert len(cancelled) == sum(1 for t in tickets if t.cancelled)
+
+
+def test_stale_marker_survives_a_failing_solve():
+    """A failed solve must not clear the stale flag (regression: the flag
+    was dropped before the solve ran, so a later solve would reuse a
+    factorization of mutated stiffness values)."""
+
+    with Session() as session:
+        baseline = session.solve(HEAT_SMALL).lam.copy()
+
+        def harden(step, problem):
+            for sub in problem.subdomains:
+                sub.K_reg = sub.K_reg * 2.0
+                sub.K = sub.K * 2.0
+
+        session.run_steps(HEAT_SMALL, update=harden)
+        # The schedule marked the solver stale.  Sabotage the next solve.
+        solver = session.solver(HEAT_SMALL)
+        original = solver.preprocess
+        def boom():
+            raise RuntimeError("injected preprocessing failure")
+        solver.preprocess = boom
+        with pytest.raises(RuntimeError, match="injected"):
+            session.solve(HEAT_SMALL)
+        solver.preprocess = original
+        # The retry still re-runs preprocessing (stale flag intact) and
+        # reproduces the pristine baseline.
+        recovered = session.solve(HEAT_SMALL)
+    np.testing.assert_allclose(recovered.lam, baseline, rtol=1e-9, atol=1e-11)
 
 
 def test_two_queues_share_the_session_workload_lock():

@@ -1,0 +1,40 @@
+"""Tests of the result cache LRU."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+def test_hit_miss_counters_and_hit_rate():
+    cache = ResultCache(max_entries=4)
+    assert cache.get("a") is None
+    cache.put("a", {"value": 1})
+    assert cache.get("a") == {"value": 1}
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["entries"] == 1
+
+
+def test_lru_eviction_order_respects_recency():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", {"value": 1})
+    cache.put("b", {"value": 2})
+    assert cache.get("a") is not None  # refresh "a"
+    cache.put("c", {"value": 3})  # evicts "b", the least recently used
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert len(cache) == 2
+
+
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(max_entries=0)
+    cache.put("a", {"value": 1})
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_is_rejected():
+    with pytest.raises(ValueError, match="max_entries"):
+        ResultCache(max_entries=-1)

@@ -1,0 +1,46 @@
+"""Tests of the repro-serve CLI surface."""
+
+from repro.serve.cli import build_parser
+from repro.serve.server import ServeConfig
+
+
+def test_parser_defaults_match_serve_config():
+    defaults = ServeConfig()
+    args = build_parser().parse_args([])
+    assert args.host == defaults.host
+    assert args.port == defaults.port
+    assert args.concurrency == defaults.concurrency
+    assert args.queue_limit == defaults.queue_limit
+    assert args.timeout == defaults.timeout_seconds
+    assert args.pool_size == defaults.pool_size
+    assert args.cache_size == defaults.cache_size
+    assert args.spec is None
+
+
+def test_parser_accepts_capacity_knobs():
+    args = build_parser().parse_args(
+        [
+            "--host", "0.0.0.0",
+            "--port", "0",
+            "--spec", "cpu-explicit",
+            "--concurrency", "4",
+            "--queue-limit", "16",
+            "--timeout", "2.5",
+            "--pool-size", "3",
+            "--cache-size", "0",
+        ]
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        spec=args.spec,
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        timeout_seconds=args.timeout,
+        pool_size=args.pool_size,
+        cache_size=args.cache_size,
+    )
+    assert config.port == 0
+    assert config.spec == "cpu-explicit"
+    assert config.queue_limit == 16
+    assert config.cache_size == 0

@@ -1,0 +1,66 @@
+"""Tests of the closed-loop load generator."""
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.loadgen import run_load
+
+MIX = [
+    {"workload": "heat-2d-quick", "rhs": 1.0},
+    {"workload": "heat-2d-quick", "rhs": 2.0},
+    {"workload": "heat-2d-quick", "rhs": 3.0},
+    {"workload": "heat-2d-quick", "rhs": 4.0},
+]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(port=0, concurrency=2, queue_limit=8)) as thread:
+        yield thread
+
+
+def test_cold_then_warm_pass(server):
+    cold = run_load("127.0.0.1", server.port, MIX, clients=2, keep_replies=True)
+    assert cold.requests == len(MIX)
+    assert cold.completed == len(MIX)
+    assert cold.errors == 0 and cold.timeouts_504 == 0
+    assert cold.cache_hits == 0
+    assert len(cold.replies) == len(MIX)
+    assert all(r["result"]["converged"] for r in cold.replies)
+
+    warm = run_load("127.0.0.1", server.port, MIX, clients=2)
+    assert warm.completed == len(MIX)
+    assert warm.cache_hits == len(MIX)
+    assert warm.replies == []  # keep_replies off by default
+
+
+def test_report_percentiles_and_throughput(server):
+    report = run_load("127.0.0.1", server.port, MIX, clients=2, rounds=2)
+    assert report.completed == 2 * len(MIX)
+    stats = report.latency_percentiles()
+    assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+    assert report.throughput > 0
+    doc = report.to_dict()
+    assert doc["completed"] == report.completed
+    assert doc["p50"] == stats["p50"]
+    assert doc["throughput_per_second"] == report.throughput
+
+
+def test_bad_requests_count_as_errors(server):
+    report = run_load(
+        "127.0.0.1",
+        server.port,
+        [{"workload": "no-such-preset"}, {"workload": "heat-2d-quick", "rhs": 5.0}],
+        clients=1,
+    )
+    assert report.errors == 1
+    assert report.completed == 1
+
+
+def test_empty_latency_report_is_well_formed():
+    from repro.serve.loadgen import LoadReport
+
+    report = LoadReport()
+    assert report.latency_percentiles() == {}
+    assert report.throughput == 0.0
+    assert "p50" not in report.to_dict()
