@@ -55,6 +55,10 @@ class SessionStats:
     solver_reuses: int = 0
     solves: int = 0
     steps: int = 0
+    #: Number of multi-RHS block solves (:meth:`Session.solve_many` calls).
+    stacked_solves: int = 0
+    #: Total right-hand-side columns those block solves carried.
+    stacked_columns: int = 0
 
 
 @dataclass
@@ -318,6 +322,61 @@ class Session:
                     self._stale_solvers.discard((w, s))
             return solution
 
+    def solve_many(
+        self,
+        workload: Workload | str | Mapping[str, Any],
+        loads_columns: "list[list[np.ndarray] | None]",
+        spec: SolverSpec | str | None = None,
+        *,
+        stacked: bool = True,
+    ) -> list[FetiSolution]:
+        """Solve one workload under many load cases in a single block PCPG.
+
+        The preprocessing runs once and the per-iteration dual-operator
+        applications of all columns are fused (see
+        :meth:`~repro.feti.solver.FetiSolver.solve_many`) — the batching
+        win that :class:`~repro.runtime.queue.SolveQueue` exploits when it
+        coalesces same-``(workload, spec)`` requests.
+
+        Parameters
+        ----------
+        loads_columns:
+            One entry per right-hand side: ``None`` for the workload's
+            declared loads, or per-subdomain load vectors.
+        stacked:
+            Use the operator's fused multi-RHS kernel (default).  Pass
+            ``False`` for the per-column path that is bitwise equal to
+            sequential :meth:`solve` calls.
+        """
+        w = self.resolve_workload(workload)
+        s = self._resolve_spec(spec)
+        with self.workload_lock(w):
+            solver = self.solver(w, s)
+            with self._cache_lock:
+                self.stats.solves += len(loads_columns)
+                self.stats.stacked_solves += 1
+                self.stats.stacked_columns += len(loads_columns)
+                stale = (w, s) in self._stale_solvers
+            solutions = solver.solve_many(
+                loads_columns, stacked=stacked, reuse_preprocessing=not stale
+            )
+            if stale:
+                with self._cache_lock:
+                    self._stale_solvers.discard((w, s))
+            return solutions
+
+    def note_stacked_solve(self, columns: int) -> None:
+        """Record a multi-RHS block solve that ran on this session's behalf.
+
+        Used by :class:`~repro.runtime.queue.SolveQueue` when a coalesced
+        batch runs inside a *worker* session (process backend): the worker's
+        own counters are invisible here, but the parent session is the one
+        ``/v1/metrics`` reports on.
+        """
+        with self._cache_lock:
+            self.stats.stacked_solves += 1
+            self.stats.stacked_columns += columns
+
     def _run_schedule(
         self,
         w: Workload,
@@ -463,4 +522,6 @@ class Session:
             "solver_reuses": self.stats.solver_reuses,
             "solves": self.stats.solves,
             "steps": self.stats.steps,
+            "stacked_solves": self.stats.stacked_solves,
+            "stacked_columns": self.stats.stacked_columns,
         }

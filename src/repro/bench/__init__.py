@@ -41,10 +41,12 @@ from repro.bench.runner import (
     run_scenario,
     write_record,
 )
+from repro.bench.apply_phase import ApplyPhaseScenario
 from repro.bench.serve_load import ServeScenario
 
 __all__ = [
     "Scenario",
+    "ApplyPhaseScenario",
     "ServeScenario",
     "Workload",
     "build_feti_problem",

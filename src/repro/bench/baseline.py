@@ -157,6 +157,49 @@ class ComparisonReport:
         )
         return "\n".join(lines)
 
+    def markdown_summary(self) -> str:
+        """GitHub-flavored markdown report (``$GITHUB_STEP_SUMMARY``).
+
+        The same content as :meth:`summary`, rendered as a markdown table
+        so the benchmark-gate job surfaces the verdict on the workflow
+        summary page instead of only in the log.
+        """
+        lines = ["## Benchmark comparison", ""]
+        if self.differences:
+            lines.append(
+                "| scenario | point | metric | baseline | fresh | change | verdict |"
+            )
+            lines.append("|---|---|---|---:|---:|---:|---|")
+            for d in self.differences:
+                rel = d.rel_change
+                verdict = d.kind + (" **(blocking)**" if d.blocking else "")
+                lines.append(
+                    "| {} | {} | {} | {} | {} | {} | {} |".format(
+                        d.scenario,
+                        d.point,
+                        d.metric.replace("|", "\\|"),
+                        "-" if d.baseline is None else f"{d.baseline:.6g}",
+                        "-" if d.fresh is None else f"{d.fresh:.6g}",
+                        "-" if rel is None else f"{rel:+.1%}",
+                        verdict,
+                    )
+                )
+            lines.append("")
+        else:
+            lines.append("No differences against the committed baselines.")
+            lines.append("")
+        for name in self.missing:
+            lines.append(f"- :warning: missing record: `{name}`")
+        if self.missing:
+            lines.append("")
+        n_reg = len(self.blocking)
+        icon = ":white_check_mark: OK" if self.ok else ":x: FAIL"
+        lines.append(
+            f"{icon} — compared {len(self.compared)} scenario(s), "
+            f"{n_reg} blocking difference(s), {len(self.missing)} missing record(s)"
+        )
+        return "\n".join(lines) + "\n"
+
 
 def compare_records(
     baseline: dict[str, Any],

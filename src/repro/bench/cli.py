@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 
@@ -356,7 +357,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.summary())
+    _write_step_summary(report)
     return report.exit_code
+
+
+def _write_step_summary(report) -> None:
+    """Append the markdown report to ``$GITHUB_STEP_SUMMARY`` when set.
+
+    GitHub Actions renders the file on the workflow-run summary page, so
+    the benchmark-gate verdict and per-metric table are visible without
+    opening the job log.  A no-op outside CI.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(report.markdown_summary())
+    except OSError as exc:
+        print(f"warning: cannot write GITHUB_STEP_SUMMARY: {exc}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

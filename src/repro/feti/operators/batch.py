@@ -95,6 +95,14 @@ class FlatIndexMap:
         """Accumulate concatenated local contributions into ``target``."""
         np.add.at(target, self.flat_ids, values)
 
+    def gather_multi(self, source: np.ndarray) -> np.ndarray:
+        """Row-wise gather of a stacked ``(n_global, k)`` multi-RHS block."""
+        return source.take(self.flat_ids, axis=0)
+
+    def scatter_add_multi(self, target: np.ndarray, values: np.ndarray) -> None:
+        """Row-wise accumulate of stacked ``(total, k)`` local contributions."""
+        np.add.at(target, self.flat_ids, values)
+
     def split(self, values: np.ndarray) -> list[np.ndarray]:
         """Per-subdomain views into a concatenated array."""
         return [
@@ -127,6 +135,18 @@ class FlatIndexMap:
         """Collect the padded 2-D layout back into a concatenated array."""
         return padded.reshape(-1)[self.pad_positions]
 
+    def pad_multi(self, concatenated: np.ndarray) -> np.ndarray:
+        """Spread a stacked ``(total, k)`` block into ``(n_items, max, k)``."""
+        k = int(concatenated.shape[1])
+        out = np.zeros((self.n_items * self.max_size, k))
+        out[self.pad_positions] = concatenated
+        return out.reshape(self.n_items, self.max_size, k)
+
+    def unpad_multi(self, padded: np.ndarray) -> np.ndarray:
+        """Collect a padded ``(n_items, max, k)`` block back to ``(total, k)``."""
+        k = int(padded.shape[2])
+        return padded.reshape(self.n_items * self.max_size, k)[self.pad_positions]
+
 
 class BatchedDenseApply:
     """Padded pack of per-subdomain dense square blocks + batched GEMV.
@@ -142,6 +162,9 @@ class BatchedDenseApply:
         m = index_map.max_size
         self.blocks = np.zeros((index_map.n_items, m, m))
         self._p_pad = np.zeros((index_map.n_items, m, 1))
+        #: Bumped on every block refresh; the process-backend apply sharding
+        #: re-uploads the pack to its shared arena only when this changes.
+        self.version = 0
 
     def set_block(self, item: int, block: np.ndarray) -> None:
         """Install (or refresh) one subdomain's dense block."""
@@ -151,6 +174,7 @@ class BatchedDenseApply:
                 f"block {item} has shape {block.shape}, expected ({n}, {n})"
             )
         self.blocks[item, :n, :n] = block
+        self.version += 1
 
     def matvec(self, p_concat: np.ndarray) -> np.ndarray:
         """One batched GEMV over all blocks.
@@ -160,10 +184,48 @@ class BatchedDenseApply:
         padding lanes at zero (they are never written), so only the data
         lanes are refreshed per call.
         """
-        P_2d = self._p_pad.reshape(self.map.n_items, self.map.max_size)
-        P_2d.reshape(-1)[self.map.pad_positions] = p_concat
+        self._p_pad.reshape(-1)[self.map.pad_positions] = p_concat
         Q = np.matmul(self.blocks, self._p_pad)
         return self.map.unpad(Q.reshape(self.map.n_items, self.map.max_size))
+
+    def matvec_chunked(
+        self, p_concat: np.ndarray, spans: "Sequence[tuple[int, int]]", submit
+    ) -> np.ndarray:
+        """The batched GEMV split over contiguous block spans.
+
+        ``submit(fn)`` schedules one span's ``np.matmul`` (a thread-pool
+        submit, or an inline call for the serial fallback) and returns a
+        future.  Each span computes exactly the per-item products of the
+        full-pack :meth:`matvec` — batched ``matmul`` applies the blocks
+        independently along the leading axis, so the chunked result is
+        bit-identical to the unchunked one regardless of span boundaries.
+        """
+        self._p_pad.reshape(-1)[self.map.pad_positions] = p_concat
+        Q = np.empty_like(self._p_pad)
+        blocks, p_pad = self.blocks, self._p_pad
+
+        def run(lo: int, hi: int):
+            def task() -> None:
+                np.matmul(blocks[lo:hi], p_pad[lo:hi], out=Q[lo:hi])
+
+            return task
+
+        futures = [submit(run(lo, hi)) for lo, hi in spans]
+        for future in futures:
+            future.result()
+        return self.map.unpad(Q.reshape(self.map.n_items, self.map.max_size))
+
+    def matvec_multi(self, p_stack: np.ndarray) -> np.ndarray:
+        """Stacked multi-RHS apply: one batched GEMM over all blocks.
+
+        ``p_stack`` holds the concatenated local dual vectors of ``k``
+        right-hand sides as a ``(total, k)`` block; returns the matching
+        ``(total, k)`` results.  Amortizes the scatter/gather and the kernel
+        launch over every column — the request-level analogue of the
+        per-subdomain batching of :meth:`matvec`.
+        """
+        Q = np.matmul(self.blocks, self.map.pad_multi(p_stack))
+        return self.map.unpad_multi(Q)
 
 
 @dataclass

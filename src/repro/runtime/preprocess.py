@@ -15,11 +15,13 @@ funneled through :func:`run_preprocessing`, which dispatches the work per
     parent, which injects them into the solvers in deterministic shard
     order.
 ``processes``
-    Shards run in pool workers.  Inputs (stacked matrix values, gluing
-    matrices) travel by pickle — they are small; outputs — the stacked
-    factor panels and the padded ``local_F`` pack — are written into a
-    :class:`~repro.runtime.shm.SharedArena` and adopted by the parent's
-    solvers as zero-copy views.  Each worker keeps its own
+    Shards run in pool workers.  Bulk inputs (the stacked stiffness values
+    and the packed gluing matrices) are written by the parent into input
+    slots of the round's :class:`~repro.runtime.shm.SharedArena` and read
+    by the workers as zero-copy views; outputs — the stacked factor panels
+    and the padded ``local_F`` pack — are written back into the same arena
+    and adopted by the parent's solvers as views.  Only slot descriptors
+    and scalar metadata cross the pool's pipes.  Each worker keeps its own
     :class:`~repro.sparse.cache.PatternCache`, so a pattern's symbolic
     analysis is recomputed at most once per worker and shards hitting the
     same pattern reuse it across preprocessing rounds.
@@ -46,7 +48,13 @@ from repro.runtime.kernels import (
     padded_dual_rhs,
 )
 from repro.runtime.shard import Shard, ShardPlan
-from repro.runtime.shm import ArenaSlot, SharedArena, attach_view, write_slot
+from repro.runtime.shm import (
+    ArenaSlot,
+    SharedArena,
+    attach_view,
+    slot_view,
+    write_slot,
+)
 from repro.sparse.cache import PatternCache, structural_key
 from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
 from repro.sparse.schur import rhs_sparsity_fill, schur_complement
@@ -260,6 +268,41 @@ def _unpack_sparse(packed: tuple) -> sp.csr_matrix:
     return sp.csr_matrix((data, indices, indptr), shape=shape)
 
 
+#: Pending parent-side input writes: ``(slot, values)`` pairs recorded while
+#: the arena layout is still open, flushed once ``create()`` has run.
+_Writes = list  # list[tuple[ArenaSlot, np.ndarray]]
+
+
+def _sparse_to_slots(arena: SharedArena, writes: _Writes, A: sp.spmatrix) -> dict:
+    """Lay one CSR matrix out as three arena input slots (+ its shape)."""
+    csr = _canonical_csr(A)
+    data = np.asarray(csr.data, dtype=float)
+    indices = np.asarray(csr.indices)
+    indptr = np.asarray(csr.indptr)
+    ref = {
+        "data": arena.allocate_of(data),
+        "indices": arena.allocate_of(indices),
+        "indptr": arena.allocate_of(indptr),
+        "shape": tuple(csr.shape),
+    }
+    writes.append((ref["data"], data))
+    writes.append((ref["indices"], indices))
+    writes.append((ref["indptr"], indptr))
+    return ref
+
+
+def _sparse_from_slots(buf: memoryview, ref: dict) -> sp.csr_matrix:
+    """Rebuild a CSR matrix over arena views (worker side, zero-copy data)."""
+    return sp.csr_matrix(
+        (
+            slot_view(buf, ref["data"]),
+            slot_view(buf, ref["indices"]),
+            slot_view(buf, ref["indptr"]),
+        ),
+        shape=ref["shape"],
+    )
+
+
 def _worker_symbolic(group: dict, blocked: bool):
     """The group's symbolic analysis inside a pool worker.
 
@@ -292,8 +335,10 @@ def _worker_symbolic(group: dict, blocked: bool):
 def _run_shard_process(payload: dict) -> list[dict]:
     """Process-backend shard task: compute groups, write arrays to the arena.
 
-    The payload is pure picklable data; bulk outputs go through the shared
-    arena named in the payload and only scalar metadata is returned.
+    The payload is slot descriptors and scalars only: bulk *inputs* (the
+    stacked stiffness values and the packed gluing matrices) are read as
+    zero-copy views of the shared arena, and bulk outputs are written back
+    into it — nothing but metadata crosses the pool's pipes.
     """
     shm = buf = None
     if payload["arena"] is not None:
@@ -304,10 +349,12 @@ def _run_shard_process(payload: dict) -> list[dict]:
             symbolic = _worker_symbolic(g, payload["blocked"])
             meta: dict[str, Any] = {}
             if g["kind"] == "batched":
-                panels = batched_factor_panels(g["data"], symbolic)
+                panels = batched_factor_panels(
+                    slot_view(buf, g["data_slot"]), symbolic
+                )
                 write_slot(buf, g["panels_slot"], panels)
                 if g["schur_slot"] is not None:
-                    Bs = [_unpack_sparse(p) for p in g["Bs"]]
+                    Bs = [_sparse_from_slots(buf, ref) for ref in g["Bs"]]
                     rhs = padded_dual_rhs(Bs, symbolic.perm, g["width"])
                     write_slot(
                         buf,
@@ -316,11 +363,11 @@ def _run_shard_process(payload: dict) -> list[dict]:
                     )
             else:
                 for item in g["items"]:
-                    K = _unpack_sparse(item["K"])
+                    K = _sparse_from_slots(buf, item["K"])
                     factor = numeric_cholesky(K, symbolic, blocked=payload["blocked"])
                     write_slot(buf, item["values_slot"], factor.values)
                     if item["schur_slot"] is not None:
-                        B = _unpack_sparse(item["B"])
+                        B = _sparse_from_slots(buf, item["B"])
                         F = schur_complement(
                             factor,
                             B,
@@ -333,8 +380,8 @@ def _run_shard_process(payload: dict) -> list[dict]:
             if g["need_rhs_fill"]:
                 fills: list[float] = []
                 cache: dict[Any, float] = {}
-                for p in g["Bs"]:
-                    B = _unpack_sparse(p)
+                for ref in g["Bs"]:
+                    B = _sparse_from_slots(buf, ref)
                     key = structural_key(B)
                     if key not in cache:
                         cache[key] = rhs_sparsity_fill(B, symbolic.perm)
@@ -355,10 +402,15 @@ def _build_process_payload(
     need_rhs_fill: bool,
     blocked: bool,
     seeded_keys: set,
-) -> tuple[dict, list[dict]]:
-    """Build one shard's picklable payload and the parent-side slot map."""
+) -> tuple[dict, list[dict], _Writes]:
+    """Build one shard's payload, the parent-side slot map and input writes.
+
+    The payload references bulk inputs by arena slot; the returned writes
+    are flushed by the caller once the arena layout is frozen and backed.
+    """
     groups_payload: list[dict] = []
     slot_maps: list[dict] = []
+    writes: _Writes = []
     for group in shard_groups:
         symbolic = group.solvers[0].symbolic
         base = _canonical_csr(group.subs[0].K_reg)
@@ -378,13 +430,15 @@ def _build_process_payload(
             "symbolic": None if symbolic_key in seeded_keys else symbolic,
             "need_rhs_fill": need_rhs_fill,
             "exploit": exploit_rhs_sparsity,
-            "Bs": [_pack_sparse(s.B) for s in group.subs]
+            "Bs": [_sparse_to_slots(arena, writes, s.B) for s in group.subs]
             if (need_schur or need_rhs_fill)
             else [],
         }
         stacked = _stacked_csc_data(group) if group.batched else None
         if stacked is not None:
             part = symbolic.supernodes
+            data_slot = arena.allocate_of(stacked)
+            writes.append((data_slot, stacked))
             panels_slot = arena.allocate((len(group.subs), int(part.panel_entries)))
             schur_slot = (
                 arena.allocate((len(group.subs), group.width, group.width))
@@ -394,7 +448,7 @@ def _build_process_payload(
             groups_payload.append(
                 {
                     "kind": "batched",
-                    "data": stacked,
+                    "data_slot": data_slot,
                     "width": group.width,
                     "panels_slot": panels_slot,
                     "schur_slot": schur_slot,
@@ -416,8 +470,10 @@ def _build_process_payload(
                 )
                 items.append(
                     {
-                        "K": _pack_sparse(sub.K_reg),
-                        "B": _pack_sparse(sub.B) if need_schur else None,
+                        "K": _sparse_to_slots(arena, writes, sub.K_reg),
+                        "B": _sparse_to_slots(arena, writes, sub.B)
+                        if need_schur
+                        else None,
                         "values_slot": values_slot,
                         "schur_slot": schur_slot,
                     }
@@ -428,7 +484,7 @@ def _build_process_payload(
     # The arena name is filled in by the caller once the layout is frozen
     # and the segment exists (create() runs after every shard allocated).
     payload = {"arena": None, "blocked": blocked, "groups": groups_payload}
-    return payload, slot_maps
+    return payload, slot_maps, writes
 
 
 # --------------------------------------------------------------------- #
@@ -526,13 +582,18 @@ def run_preprocessing(
         ]
         arena.create()
         round_.arenas.append(arena)
-        for payload, _ in payloads_and_slots:
+        for payload, _, writes in payloads_and_slots:
             payload["arena"] = arena.name
+            # Flush the bulk inputs into the arena before any worker runs:
+            # the workers read them as zero-copy views, so the payloads
+            # themselves carry only slot descriptors and scalars.
+            for slot, values in writes:
+                arena.view(slot)[...] = values
         futures = [
             executor.submit(_run_shard_process, payload)
-            for payload, _ in payloads_and_slots
+            for payload, _, _ in payloads_and_slots
         ]
-        for (groups, future, (_, slot_maps)) in zip(
+        for (groups, future, (_, slot_maps, _)) in zip(
             shard_groups, futures, payloads_and_slots
         ):
             metas = future.result()
@@ -561,7 +622,7 @@ def run_preprocessing(
                 _adopt_group(group, computed, round_, need_schur)
         # Every worker has now either cached or re-derived these analyses;
         # later rounds ship only the digests.
-        for payload, _ in payloads_and_slots:
+        for payload, _, _ in payloads_and_slots:
             for g in payload["groups"]:
                 executor.seeded_keys.add(g["symbolic_key"])
         return round_

@@ -21,6 +21,13 @@ loads, a scalar scales them, and a sequence of per-subdomain arrays replaces
 them outright — the problem's pristine loads are restored after every
 request, so queue traffic never leaks state between users.
 
+**Coalescing**: same-``(workload, spec)`` requests that queue up while an
+earlier solve of that workload is in flight are drained *as one batch* and
+solved by a single multi-RHS block PCPG (:meth:`~repro.api.session.Session.
+solve_many`) — the preprocessing and the per-iteration dual-operator
+kernels are shared across all coalesced right-hand sides.  Requests for
+different workloads (or specs) never coalesce and keep overlapping.
+
 **Error isolation contract**: a malformed or failing request surfaces its
 exception through *that request's* ticket only (``submit`` itself never
 raises) — a poison request cannot stall the queue, corrupt the session's
@@ -143,26 +150,40 @@ def _normalize_rhs(rhs: Any) -> float | list[np.ndarray] | None:
     )
 
 
-def _apply_rhs(problem, base_loads, rhs) -> None:
-    """Install a request's loads onto a (locked) problem."""
-    if rhs is None:
-        values = base_loads
-    elif isinstance(rhs, float):
-        values = [rhs * f for f in base_loads]
-    else:
-        if len(rhs) != len(problem.subdomains):
-            raise ValueError(
-                f"rhs has {len(rhs)} load vectors but the problem has "
-                f"{len(problem.subdomains)} subdomains"
-            )
-        values = rhs
-    for sub, f in zip(problem.subdomains, values):
+def _validate_rhs(problem, rhs) -> None:
+    """Shape-check a normalized rhs against a problem (raises ValueError)."""
+    if rhs is None or isinstance(rhs, float):
+        return
+    if len(rhs) != len(problem.subdomains):
+        raise ValueError(
+            f"rhs has {len(rhs)} load vectors but the problem has "
+            f"{len(problem.subdomains)} subdomains"
+        )
+    for sub, f in zip(problem.subdomains, rhs):
         if f.shape != sub.f.shape:
             raise ValueError(
                 f"rhs for subdomain {sub.index} has shape {f.shape}, "
                 f"expected {sub.f.shape}"
             )
-        sub.f = np.array(f, dtype=float, copy=True)
+
+
+def _loads_for(problem, base_loads, rhs) -> "list[np.ndarray] | None":
+    """A request's concrete per-subdomain load vectors (``None`` = declared)."""
+    _validate_rhs(problem, rhs)
+    if rhs is None:
+        return None
+    if isinstance(rhs, float):
+        return [rhs * f for f in base_loads]
+    return [np.array(f, dtype=float, copy=True) for f in rhs]
+
+
+def _apply_rhs(problem, base_loads, rhs) -> None:
+    """Install a request's loads onto a (locked) problem."""
+    values = _loads_for(problem, base_loads, rhs)
+    if values is None:
+        values = [f.copy() for f in base_loads]
+    for sub, f in zip(problem.subdomains, values):
+        sub.f = f
 
 
 # --------------------------------------------------------------------- #
@@ -226,6 +247,37 @@ def _process_solve(payload: tuple) -> QueueSolution:
         ) from None
 
 
+def _process_solve_many(payload: tuple) -> list[QueueSolution]:
+    """Module-level process task: one coalesced batch, one block solve.
+
+    All right-hand sides of the batch run as a single multi-RHS block PCPG
+    inside the worker's warmed session — the preprocessing and the fused
+    apply kernels are paid once for the whole batch.
+    """
+    import traceback
+
+    from repro.api.workload import Workload
+
+    workload_dict, spec_dict, rhs_list = payload
+    try:
+        session = _worker_session(spec_dict)
+        workload = Workload.from_dict(workload_dict)
+        problem = session.problem(workload)
+        base = session.base_loads(workload)
+        loads_columns = [_loads_for(problem, base, rhs) for rhs in rhs_list]
+        # stacked=False keeps coalesced answers bitwise equal to sequential
+        # ones (reproducibility under load); see SolveQueue._run_batch_local.
+        solutions = session.solve_many(
+            workload, loads_columns, session.spec, stacked=False
+        )
+        return [QueueSolution.from_solution(s) for s in solutions]
+    except Exception as exc:
+        detail = traceback.format_exc()
+        raise QueueRequestError(
+            f"coalesced solve batch failed in a process worker: {exc}\n{detail}"
+        ) from None
+
+
 # --------------------------------------------------------------------- #
 # The queue                                                              #
 # --------------------------------------------------------------------- #
@@ -245,20 +297,32 @@ class SolveQueue:
     def __init__(
         self, session: "Session", executor: Executor | None = None
     ) -> None:
+        import threading
         import weakref
         from concurrent.futures import ThreadPoolExecutor
 
         self.session = session
         self.executor = executor if executor is not None else session.executor()
         self._tickets: list[SolveTicket] = []
-        #: Request-level pool of the threads backend.  Requests must not run
-        #: on the session's shard executor itself: a request blocks on the
-        #: shard futures of its preprocessing, so sharing the pool would let
-        #: enough concurrent requests starve their own shards (deadlock).
-        #: The shard pool stays dedicated to shards; this pool carries the
-        #: blocking request bodies.
+        #: Guards ticket bookkeeping and the pending-batch map (submissions
+        #: may come from any number of caller threads concurrently).
+        self._submit_lock = threading.Lock()
+        #: Requests enqueued but not yet drained, grouped by their
+        #: coalescing key ``(workload, spec)``.  A drain pops one key's
+        #: whole batch under the workload's session lock and runs it as a
+        #: single (possibly multi-RHS) solve.
+        self._pending: dict[tuple, list[tuple[Any, Future]]] = {}
+        #: Count of drained batches that actually coalesced (>1 request).
+        self.coalesced_batches = 0
+        #: Request-level pool of the threads and processes backends.
+        #: Requests must not run on the session's shard executor itself: a
+        #: request blocks on the shard futures of its preprocessing, so
+        #: sharing the pool would let enough concurrent requests starve
+        #: their own shards (deadlock).  The shard pool stays dedicated to
+        #: shards; this pool carries the blocking drain bodies (which, for
+        #: the process backend, dispatch to pool workers and wait).
         self._request_pool: ThreadPoolExecutor | None = None
-        if self.executor.backend == "threads":
+        if self.executor.backend in ("threads", "processes"):
             self._request_pool = ThreadPoolExecutor(
                 max_workers=self.executor.workers, thread_name_prefix="repro-queue"
             )
@@ -289,6 +353,10 @@ class SolveQueue:
         Never raises: a malformed workload/spec/rhs is reported through the
         returned ticket's future, so one bad request in a submission batch
         cannot prevent the others from being enqueued.
+
+        Requests for the same ``(workload, spec)`` that pile up while an
+        earlier solve of that workload holds its lock are coalesced into a
+        single multi-RHS block solve when the lock frees.
         """
         w = None
         try:
@@ -296,29 +364,33 @@ class SolveQueue:
             s = self.session.resolve_spec(spec)
             request_rhs = _normalize_rhs(rhs)
         except Exception as exc:
-            ticket = SolveTicket(
-                request_id=len(self._tickets), workload=w, future=_failed_future(exc)
-            )
-            self._tickets.append(ticket)
+            with self._submit_lock:
+                ticket = SolveTicket(
+                    request_id=len(self._tickets),
+                    workload=w,
+                    future=_failed_future(exc),
+                )
+                self._tickets.append(ticket)
             return ticket
 
-        if self.executor.backend == "processes":
-            spec_dict = s.to_dict()
-            # Workers solve serially: a nested pool inside a pool worker
-            # would oversubscribe the host (and break under env defaults).
-            spec_dict["execution"] = ExecutionSpec().to_dict()
-            future = self.executor.submit(
-                _process_solve, (w.to_dict(), spec_dict, request_rhs)
+        future: Future = Future()
+        key = (w, s)
+        with self._submit_lock:
+            ticket = SolveTicket(
+                request_id=len(self._tickets), workload=w, future=future
             )
-        elif self._request_pool is not None:
-            future = self._request_pool.submit(self._solve_locked, w, s, request_rhs)
-        else:
-            future = self.executor.submit(self._solve_locked, w, s, request_rhs)
+            self._tickets.append(ticket)
+            self._pending.setdefault(key, []).append((request_rhs, future))
 
-        ticket = SolveTicket(
-            request_id=len(self._tickets), workload=w, future=future
-        )
-        self._tickets.append(ticket)
+        if self._request_pool is not None:
+            # One drain task per submission: the first to win the workload
+            # lock takes the whole pending batch, later ones find it empty.
+            self._request_pool.submit(self._drain, w, s)
+        else:
+            # Serial backend: the request runs inline at submission (the
+            # reference behaviour) — unless a concurrent submitter already
+            # drained it while holding the workload lock.
+            self._drain(w, s)
         return ticket
 
     def map(
@@ -350,9 +422,101 @@ class SolveQueue:
         return sum(1 for t in self._tickets if not t.done)
 
     # ------------------------------------------------------------------ #
-    def _solve_locked(self, workload, spec, rhs) -> QueueSolution:
-        # The lock is the *session's* per-workload lock, so requests from
-        # any number of queues — and direct session.solve calls — serialize
-        # on one workload's shared state while different workloads overlap.
+    def _drain(self, workload, spec) -> None:
+        """Drain one coalescing key's pending batch and solve it.
+
+        The lock is the *session's* per-workload lock, so requests from any
+        number of queues — and direct session.solve calls — serialize on
+        one workload's shared state while different workloads overlap.  The
+        pending batch is popped only after the lock is won: everything that
+        queued up behind the previous solve drains as one block solve.
+        """
+        key = (workload, spec)
         with self.session.workload_lock(workload):
-            return _solve_request_in_session(self.session, workload, spec, rhs)
+            with self._submit_lock:
+                batch = self._pending.pop(key, [])
+            if not batch:
+                return
+            # Parent-side validation: a bad rhs fails its own ticket (with
+            # the original exception type) and never reaches a worker or
+            # taints the rest of the batch.
+            problem = self.session.problem(workload)
+            valid: list[tuple[Any, Future]] = []
+            for rhs, future in batch:
+                if not future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    _validate_rhs(problem, rhs)
+                except Exception as exc:
+                    future.set_exception(exc)
+                    continue
+                valid.append((rhs, future))
+            if len(valid) > 1:
+                with self._submit_lock:
+                    self.coalesced_batches += 1
+            try:
+                if not valid:
+                    return
+                if self.executor.backend == "processes":
+                    self._run_batch_processes(workload, spec, valid)
+                else:
+                    self._run_batch_local(workload, spec, valid)
+            except Exception as exc:  # pragma: no cover - defensive
+                for _, future in valid:
+                    if not future.done():
+                        future.set_exception(exc)
+
+    def _run_batch_local(self, workload, spec, batch) -> None:
+        """Solve one drained batch in-process (serial / threads backends)."""
+        if len(batch) == 1:
+            rhs, future = batch[0]
+            try:
+                future.set_result(
+                    _solve_request_in_session(self.session, workload, spec, rhs)
+                )
+            except Exception as exc:
+                future.set_exception(exc)
+            return
+        problem = self.session.problem(workload)
+        base = self.session.base_loads(workload)
+        loads_columns = [_loads_for(problem, base, rhs) for rhs, _ in batch]
+        try:
+            # stacked=False: the per-column block path is bitwise identical
+            # to sequential solves, so a request's answer never depends on
+            # how much traffic it happened to coalesce with.  Callers that
+            # want the fused-GEMM kernels use Session.solve_many directly.
+            solutions = self.session.solve_many(
+                workload, loads_columns, spec, stacked=False
+            )
+        except Exception as exc:
+            for _, future in batch:
+                future.set_exception(exc)
+            return
+        for (_, future), solution in zip(batch, solutions):
+            future.set_result(QueueSolution.from_solution(solution))
+
+    def _run_batch_processes(self, workload, spec, batch) -> None:
+        """Ship one drained batch to a pool worker and wait for it."""
+        spec_dict = spec.to_dict()
+        # Workers solve serially: a nested pool inside a pool worker would
+        # oversubscribe the host (and break under env defaults).
+        spec_dict["execution"] = ExecutionSpec().to_dict()
+        rhs_list = [rhs for rhs, _ in batch]
+        try:
+            if len(batch) == 1:
+                task = self.executor.submit(
+                    _process_solve, (workload.to_dict(), spec_dict, rhs_list[0])
+                )
+                batch[0][1].set_result(task.result())
+            else:
+                task = self.executor.submit(
+                    _process_solve_many, (workload.to_dict(), spec_dict, rhs_list)
+                )
+                solutions = task.result()
+                self.session.note_stacked_solve(len(batch))
+                for (_, future), solution in zip(batch, solutions):
+                    future.set_result(solution)
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)

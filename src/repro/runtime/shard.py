@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.feti.operators.batch import SubdomainBatchEngine
     from repro.feti.problem import FetiProblem
 
-__all__ = ["Shard", "ShardPlan"]
+__all__ = ["Shard", "ShardPlan", "balanced_spans"]
 
 
 @dataclass(frozen=True)
@@ -45,8 +45,12 @@ class Shard:
         return len(self.subdomain_indices)
 
 
-def _balanced_chunks(n: int, parts: int) -> list[tuple[int, int]]:
-    """Split ``range(n)`` into ``min(parts, n)`` contiguous near-equal spans."""
+def balanced_spans(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``min(parts, n)`` contiguous near-equal spans.
+
+    The common span decomposition of the runtime: shard planning uses it for
+    subdomain slices, the apply-phase sharding for block-pack chunks.
+    """
     parts = max(1, min(parts, n))
     base, extra = divmod(n, parts)
     spans = []
@@ -56,6 +60,9 @@ def _balanced_chunks(n: int, parts: int) -> list[tuple[int, int]]:
         spans.append((start, start + size))
         start += size
     return spans
+
+
+_balanced_chunks = balanced_spans  # historical internal name
 
 
 class ShardPlan:

@@ -9,6 +9,14 @@ arena per preprocessing round, the workers write their slots directly, and
 the parent's solvers adopt NumPy *views* into the arena.  The only pickled
 result is per-subdomain scalar metadata.
 
+The transport is symmetric since the apply-phase sharding landed: bulk
+*inputs* (stacked stiffness values, packed gluing matrices, the padded
+``local_F`` pack and the dual vectors of the sharded apply) are written by
+the parent into input slots and attached zero-copy by the workers, so a
+process-backend round-trip pickles only slot descriptors and scalars in
+either direction.  Slots are dtype-aware (``float64`` panels next to
+``int32``/``int64`` index maps) and 8-byte aligned.
+
 CPython 3.11/3.12 quirk: attaching a :class:`~multiprocessing.shared_memory.
 SharedMemory` segment registers it with the process's resource tracker, which
 would unlink the segment when the *worker* exits even though the parent still
@@ -25,23 +33,36 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArena", "ArenaSlot", "attach_view", "write_slot"]
+__all__ = [
+    "SharedArena",
+    "ArenaSlot",
+    "attach_cached",
+    "attach_view",
+    "slot_view",
+    "write_slot",
+]
 
 
 @dataclass(frozen=True)
 class ArenaSlot:
-    """One array slot inside an arena: a float64 block at a fixed offset."""
+    """One array slot inside an arena: a typed block at a fixed byte offset."""
 
-    offset: int  # in float64 elements
+    offset: int  # in bytes
     shape: tuple[int, ...]
+    dtype: str = "float64"
 
     @property
     def size(self) -> int:
-        """Number of float64 elements of the slot."""
+        """Number of elements of the slot."""
         n = 1
         for s in self.shape:
             n *= int(s)
         return n
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the slot."""
+        return self.size * np.dtype(self.dtype).itemsize
 
 
 class SharedArena:
@@ -64,19 +85,33 @@ class SharedArena:
     # ------------------------------------------------------------------ #
     # Layout                                                              #
     # ------------------------------------------------------------------ #
-    def allocate(self, shape: tuple[int, ...]) -> ArenaSlot:
-        """Reserve one float64 slot (before :meth:`create`)."""
+    def allocate(
+        self, shape: tuple[int, ...], dtype: str | np.dtype = "float64"
+    ) -> ArenaSlot:
+        """Reserve one typed slot (before :meth:`create`).
+
+        Slots start on 8-byte boundaries regardless of dtype, so mixing
+        float64 panels with int64/int32 index maps never misaligns a view.
+        """
         if self._shm is not None:
             raise RuntimeError("arena layout is frozen once create() has run")
-        slot = ArenaSlot(offset=self._total, shape=tuple(int(s) for s in shape))
+        slot = ArenaSlot(
+            offset=self._total,
+            shape=tuple(int(s) for s in shape),
+            dtype=np.dtype(dtype).name,
+        )
         self._slots.append(slot)
-        self._total += slot.size
+        self._total += (slot.nbytes + 7) & ~7  # keep 8-byte alignment
         return slot
+
+    def allocate_of(self, array: np.ndarray) -> ArenaSlot:
+        """Reserve a slot shaped and typed like an existing array."""
+        return self.allocate(array.shape, array.dtype)
 
     @property
     def nbytes(self) -> int:
         """Total size of the arena in bytes."""
-        return max(8 * self._total, 1)
+        return max(self._total, 1)
 
     def create(self) -> "SharedArena":
         """Back the layout with a shared-memory segment (parent side)."""
@@ -102,7 +137,10 @@ class SharedArena:
         if self._shm is None:
             raise RuntimeError("create() has not been called")
         flat = np.ndarray(
-            (slot.size,), dtype=np.float64, buffer=self._shm.buf, offset=8 * slot.offset
+            (slot.size,),
+            dtype=np.dtype(slot.dtype),
+            buffer=self._shm.buf,
+            offset=slot.offset,
         )
         return flat.reshape(slot.shape)
 
@@ -153,12 +191,44 @@ def attach_view(name: str) -> tuple[shared_memory.SharedMemory, memoryview]:
     return shm, shm.buf
 
 
+#: Worker-local cache of attached segments, keyed by OS name.  The apply
+#: phase dispatches one tiny task per shard per PCPG iteration; re-attaching
+#: the arena on every task would put a syscall + mmap on the hot path, so
+#: workers keep the handful of live arenas mapped and evict oldest-first.
+_ATTACH_CACHE: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CACHE_CAP = 8
+
+
+def attach_cached(name: str) -> memoryview:
+    """Attach an arena by name, reusing a worker-local mapping if present."""
+    shm = _ATTACH_CACHE.get(name)
+    if shm is None:
+        shm, _ = attach_view(name)
+        _ATTACH_CACHE[name] = shm
+        while len(_ATTACH_CACHE) > _ATTACH_CACHE_CAP:
+            oldest = next(iter(_ATTACH_CACHE))
+            if oldest == name:  # never evict the segment just attached
+                break
+            stale = _ATTACH_CACHE.pop(oldest)
+            try:
+                stale.close()
+            except BufferError:  # a view is still alive somewhere
+                _ATTACH_CACHE[oldest] = stale
+                break
+    return shm.buf
+
+
+def slot_view(buf: memoryview, slot: ArenaSlot) -> np.ndarray:
+    """Zero-copy view of one slot of an attached arena (worker side)."""
+    flat = np.ndarray(
+        (slot.size,), dtype=np.dtype(slot.dtype), buffer=buf, offset=slot.offset
+    )
+    return flat.reshape(slot.shape)
+
+
 def write_slot(buf: memoryview, slot: ArenaSlot, values: np.ndarray) -> None:
     """Write one slot of an attached arena (worker side)."""
-    flat = np.ndarray(
-        (slot.size,), dtype=np.float64, buffer=buf, offset=8 * slot.offset
-    )
-    flat.reshape(slot.shape)[...] = values
+    slot_view(buf, slot)[...] = values
 
 
 def fill_slot(name: str, slot: ArenaSlot, value: float) -> bool:

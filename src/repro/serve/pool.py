@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.api import Session, SolverSpec, Workload
@@ -36,15 +36,16 @@ class PoolEntry:
     session: Session
     queue: SolveQueue
     requests: int = 0
-    #: Guards queue submission for this entry (SolveQueue ticket bookkeeping
-    #: is not thread-safe; the solve itself serializes on the session's
-    #: per-workload locks).
-    submit_lock: threading.Lock = field(default_factory=threading.Lock)
 
     def solve(self, workload: Workload, spec: SolverSpec | None, rhs: Any):
-        """Run one request through the entry's queue (blocking)."""
-        with self.submit_lock:
-            ticket = self.queue.submit(workload, spec, rhs)
+        """Run one request through the entry's queue (blocking).
+
+        Submission is thread-safe, and same-``(workload, spec)`` requests
+        that pile up behind an in-flight solve coalesce into one multi-RHS
+        block solve — the serve tier's concurrent handler threads get the
+        stacked-solve batching for free.
+        """
+        ticket = self.queue.submit(workload, spec, rhs)
         return ticket.result()
 
 
@@ -129,8 +130,12 @@ class SessionPool:
             entries = list(self._entries.items())
             evictions = self.evictions
         patterns = []
+        stacked_solves = 0
+        stacked_columns = 0
         for key, entry in entries:
             stats = entry.session.cache_stats()
+            stacked_solves += stats["stacked_solves"]
+            stacked_columns += stats["stacked_columns"]
             patterns.append(
                 {
                     "pattern": list(key[:2]) + [list(key[2]), *key[3:6], list(key[6])],
@@ -139,11 +144,15 @@ class SessionPool:
                     "pattern_hits": stats["pattern_hits"],
                     "solves": stats["solves"],
                     "solver_reuses": stats["solver_reuses"],
+                    "stacked_solves": stats["stacked_solves"],
+                    "stacked_columns": stats["stacked_columns"],
                 }
             )
         return {
             "sessions": len(entries),
             "max_sessions": self.max_sessions,
             "evictions": evictions,
+            "stacked_solves": stacked_solves,
+            "stacked_columns": stacked_columns,
             "patterns": patterns,
         }

@@ -1,0 +1,140 @@
+"""Sharded dual-operator apply: equality with the serial reference.
+
+The apply phase is sharded across runtime executor workers (threads chunk
+the packed batched kernels in-process; processes run them on arena-resident
+inputs in pool workers).  The contract, per approach:
+
+* ``threads`` — bitwise equal to serial (chunks of a batched ``matmul``
+  are computed independently along the leading axis);
+* ``processes`` — ≤1e-12 relative (same kernels on shared-memory views).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Session, SolverSpec, Workload
+from repro.runtime.apply import min_shard_items, sharded_matvec
+
+APPROACHES = [
+    "impl mkl",
+    "impl cholmod",
+    "impl legacy",
+    "impl modern",
+    "expl mkl",
+    "expl cholmod",
+    "expl legacy",
+    "expl modern",
+    "expl hybrid",
+]
+
+HEAT = Workload("heat", 2, (3, 3), 6)
+
+
+def _applied(approach, execution, lam):
+    spec = (
+        SolverSpec(approach=approach, execution=execution)
+        if execution
+        else SolverSpec(approach=approach)
+    )
+    with Session(spec) as session:
+        operator = session.operator_for(HEAT)
+        operator.prepare()
+        operator.preprocess()
+        return operator.apply(lam)
+
+
+def _lam_for(approach):
+    with Session(SolverSpec(approach=approach)) as session:
+        n = session.problem(HEAT).n_lambda
+    return np.random.default_rng(42).standard_normal(n)
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_threads_sharded_apply_is_bitwise_equal_to_serial(approach, monkeypatch):
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "1")
+    lam = _lam_for(approach)
+    serial = _applied(approach, None, lam)
+    sharded = _applied(approach, "threads:2", lam)
+    assert np.array_equal(serial, sharded)
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_processes_sharded_apply_within_1e12_of_serial(approach, monkeypatch):
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "1")
+    lam = _lam_for(approach)
+    serial = _applied(approach, None, lam)
+    sharded = _applied(approach, "processes:2", lam)
+    denom = max(np.linalg.norm(serial), 1e-300)
+    assert np.linalg.norm(sharded - serial) / denom <= 1e-12
+
+
+def test_min_shard_items_gates_tiny_packs(monkeypatch):
+    monkeypatch.delenv("REPRO_APPLY_MIN_BATCH", raising=False)
+    assert min_shard_items() == 16
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "3")
+    assert min_shard_items() == 3
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "0")
+    assert min_shard_items() == 1
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "not-a-number")
+    assert min_shard_items() == 16
+
+
+def test_sharded_matvec_serial_fallback_is_the_reference_path():
+    """Without an executor the sharded entry point is exactly dense.matvec."""
+
+    class _Map:
+        n_items = 4
+
+    class _Dense:
+        map = _Map()
+
+        def __init__(self):
+            self.calls = []
+
+        def matvec(self, p):
+            self.calls.append("matvec")
+            return p * 2.0
+
+    dense = _Dense()
+    out = sharded_matvec(dense, np.arange(4.0), None)
+    assert dense.calls == ["matvec"]
+    assert np.array_equal(out, np.arange(4.0) * 2.0)
+
+
+@pytest.mark.parametrize("approach", ["expl mkl", "expl modern", "expl hybrid"])
+def test_apply_multi_default_is_bitwise_k_applies(approach):
+    with Session(SolverSpec(approach=approach)) as session:
+        operator = session.operator_for(HEAT)
+        operator.prepare()
+        operator.preprocess()
+        n = session.problem(HEAT).n_lambda
+        rng = np.random.default_rng(3)
+        block = rng.standard_normal((n, 3))
+        multi = operator.apply_multi(block)
+        for j in range(3):
+            col = operator.apply(np.ascontiguousarray(block[:, j]))
+            assert np.array_equal(multi[:, j], col)
+
+
+@pytest.mark.parametrize("approach", ["expl mkl", "expl cholmod", "expl hybrid"])
+def test_apply_multi_stacked_within_1e12_of_per_column(approach):
+    with Session(SolverSpec(approach=approach)) as session:
+        operator = session.operator_for(HEAT)
+        operator.prepare()
+        operator.preprocess()
+        n = session.problem(HEAT).n_lambda
+        rng = np.random.default_rng(8)
+        block = rng.standard_normal((n, 4))
+        plain = operator.apply_multi(block)
+        stacked = operator.apply_multi(block, stacked=True)
+        denom = max(np.linalg.norm(plain), 1e-300)
+        assert np.linalg.norm(stacked - plain) / denom <= 1e-12
+
+
+def test_apply_multi_requires_preprocessing():
+    with Session() as session:
+        operator = session.operator_for(HEAT)
+        with pytest.raises(RuntimeError):
+            operator.apply_multi(np.zeros((3, 2)))

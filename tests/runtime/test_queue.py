@@ -163,18 +163,33 @@ def test_poison_request_does_not_stall_or_corrupt_later_requests(backend):
     np.testing.assert_allclose(again.lam, 2.0 * before.result().lam, rtol=1e-6, atol=1e-9)
 
 
-def test_process_poison_request_error_is_picklable_and_worker_survives():
-    from repro.runtime.queue import QueueRequestError
-
+def test_process_poison_request_fails_parent_side_and_worker_survives():
+    """A bad rhs is rejected at drain time in the parent — the original
+    exception type reaches the ticket and no worker ever sees the poison."""
     with Session(SolverSpec(execution="processes:1")) as session:
         queue = session.queue()
         bad = queue.submit(HEAT, rhs=[np.zeros(3)])
         exc = bad.exception(timeout=120)
-        assert isinstance(exc, QueueRequestError)
+        assert isinstance(exc, ValueError)
         assert "load vectors" in str(exc)
-        # The single pool worker survived the poison request.
+        # The single pool worker is unaffected by the rejected request.
         good = queue.submit(HEAT).result()
         assert good.converged
+
+
+def test_process_worker_failure_wraps_as_picklable_queue_request_error():
+    """Failures that do happen inside a worker re-raise as QueueRequestError
+    carrying the traceback text — picklable regardless of the original."""
+    import pickle
+
+    from repro.runtime.queue import QueueRequestError, _process_solve
+
+    payload = ({"physics": "no-such-physics"}, SolverSpec().to_dict(), None)
+    with pytest.raises(QueueRequestError) as info:
+        _process_solve(payload)
+    roundtripped = pickle.loads(pickle.dumps(info.value))
+    assert isinstance(roundtripped, QueueRequestError)
+    assert "no-such-physics" in str(roundtripped) or "physics" in str(roundtripped)
 
 
 def test_ticket_cancellation():
@@ -244,6 +259,120 @@ def test_two_queues_share_the_session_workload_lock():
         direct = session.solve(HEAT)
     np.testing.assert_allclose(direct.lam, base.lam, rtol=0, atol=0)
     for scale, result in results:
+        np.testing.assert_allclose(
+            result.lam, scale * base.lam, rtol=1e-6, atol=1e-9
+        )
+
+
+# --------------------------------------------------------------------- #
+# Coalescing                                                             #
+# --------------------------------------------------------------------- #
+def test_same_pattern_requests_coalesce_into_one_stacked_solve():
+    """K same-(workload, spec) requests queued behind a held workload lock
+    drain as one multi-RHS block solve."""
+    with Session() as session:
+        queue = session.queue()
+        reference = queue.submit(HEAT).result()
+        before = session.stats.stacked_solves
+        lock = session.workload_lock(HEAT)
+        lock.acquire()
+        try:
+            import threading
+
+            tickets = []
+            threads = [
+                threading.Thread(
+                    target=lambda s=s: tickets.append((s, queue.submit(HEAT, rhs=s)))
+                )
+                for s in (1.0, 2.0, 3.0)
+            ]
+            for t in threads:
+                t.start()
+            # Submitters are serial-backend: each blocks inside its own
+            # drain, waiting on the workload lock we hold.
+            deadline = 50
+            while queue.pending < 3 and deadline:
+                import time
+
+                time.sleep(0.05)
+                deadline -= 1
+        finally:
+            lock.release()
+        for t in threads:
+            t.join(timeout=120)
+        pairs = [(scale, ticket.result(timeout=120)) for scale, ticket in tickets]
+        assert session.stats.stacked_solves == before + 1
+        assert session.stats.stacked_columns == 3
+        assert queue.coalesced_batches == 1
+    for scale, result in pairs:
+        assert result.converged
+        np.testing.assert_allclose(
+            result.lam, scale * reference.lam, rtol=1e-6, atol=1e-9
+        )
+
+
+def test_distinct_patterns_do_not_coalesce():
+    with Session() as session:
+        queue = session.queue()
+        queue.submit(HEAT).result()
+        queue.submit(ELASTICITY).result()
+        queue.submit(HEAT, rhs=2.0).result()
+        assert session.stats.stacked_solves == 0
+        assert queue.coalesced_batches == 0
+
+
+def test_failing_column_fails_only_its_own_ticket_in_a_batch():
+    """A bad rhs inside a coalesced batch is rejected parent-side: its
+    ticket carries the original ValueError, the rest of the batch solves."""
+    import threading
+
+    with Session() as session:
+        queue = session.queue()
+        reference = queue.submit(HEAT).result()
+        lock = session.workload_lock(HEAT)
+        lock.acquire()
+        tickets = []
+        try:
+            payloads = [2.0, [np.zeros(3)], 3.0]
+            threads = [
+                threading.Thread(
+                    target=lambda r=r: tickets.append(queue.submit(HEAT, rhs=r))
+                )
+                for r in payloads
+            ]
+            for t in threads:
+                t.start()
+            deadline = 50
+            while queue.pending < 3 and deadline:
+                import time
+
+                time.sleep(0.05)
+                deadline -= 1
+        finally:
+            lock.release()
+        for t in threads:
+            t.join(timeout=120)
+        by_exception = [t for t in tickets if t.exception(timeout=120) is not None]
+        assert len(by_exception) == 1
+        assert isinstance(by_exception[0].exception(), ValueError)
+        good = [t for t in tickets if t.exception() is None]
+        assert len(good) == 2
+        for t in good:
+            assert t.result().converged
+
+
+@pytest.mark.parametrize("backend", ["threads:2", "processes:2"])
+def test_coalesced_batches_match_sequential_results(backend):
+    """Whatever batching the drain races produce, every ticket's solution
+    must match its own sequential reference."""
+    with Session(SolverSpec(execution=backend)) as session:
+        queue = session.queue()
+        base = queue.submit(HEAT).result()
+        tickets = [queue.submit(HEAT, rhs=float(s)) for s in (1.0, 2.0, 3.0, 4.0)]
+        results = [t.result(timeout=300) for t in tickets]
+        queue.close()
+    for scale, result in zip((1.0, 2.0, 3.0, 4.0), results):
+        assert result.converged
         np.testing.assert_allclose(
             result.lam, scale * base.lam, rtol=1e-6, atol=1e-9
         )

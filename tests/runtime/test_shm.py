@@ -14,8 +14,38 @@ def test_layout_offsets_are_contiguous_and_sized():
     a = arena.allocate((4, 3))
     b = arena.allocate((5,))
     assert a.offset == 0 and a.size == 12
-    assert b.offset == 12 and b.size == 5
+    assert b.offset == 8 * 12 and b.size == 5
     assert arena.nbytes == 8 * 17
+
+
+def test_typed_slots_round_trip_and_stay_aligned():
+    arena = SharedArena()
+    ints = arena.allocate((5,), dtype=np.int32)  # 20 bytes -> padded to 24
+    floats = arena.allocate((2, 2))
+    assert ints.dtype == "int32" and ints.nbytes == 20
+    assert floats.offset == 24 and floats.offset % 8 == 0
+    arena.create()
+    try:
+        arena.write(ints, np.arange(5, dtype=np.int32))
+        arena.write(floats, np.full((2, 2), 0.5))
+        assert arena.view(ints).dtype == np.int32
+        assert np.array_equal(arena.view(ints), np.arange(5))
+        assert np.array_equal(arena.view(floats), np.full((2, 2), 0.5))
+    finally:
+        arena.release()
+
+
+def test_allocate_of_matches_array_shape_and_dtype():
+    arena = SharedArena()
+    source = np.arange(12, dtype=np.int64).reshape(3, 4)
+    slot = arena.allocate_of(source)
+    assert slot.shape == (3, 4) and slot.dtype == "int64"
+    arena.create()
+    try:
+        arena.write(slot, source)
+        assert np.array_equal(arena.view(slot), source)
+    finally:
+        arena.release()
 
 
 def test_parent_write_and_view_round_trip():
