@@ -513,6 +513,21 @@ class Session:
 
     def cache_stats(self) -> dict[str, Any]:
         """Cache effectiveness of the session (for logs and assertions)."""
+        coarse_applies = 0
+        coarse_solves = 0
+        coarse_seconds = 0.0
+        hierarchical_projectors = 0
+        with self._cache_lock:
+            solvers = list(self._solvers.values())
+        for solver in solvers:
+            projector = solver._projector  # noqa: SLF001 - never force the lazy build
+            if projector is None:
+                continue
+            coarse_applies += projector.applies
+            coarse_solves += projector.solves
+            coarse_seconds += projector.seconds + projector.factor_seconds
+            if projector.mode == "hierarchical":
+                hierarchical_projectors += 1
         return {
             "symbolic_analyses": self.pattern_cache.misses,
             "pattern_hits": self.pattern_cache.hits,
@@ -524,4 +539,8 @@ class Session:
             "steps": self.stats.steps,
             "stacked_solves": self.stats.stacked_solves,
             "stacked_columns": self.stats.stacked_columns,
+            "coarse_applies": coarse_applies,
+            "coarse_solves": coarse_solves,
+            "coarse_seconds": coarse_seconds,
+            "hierarchical_projectors": hierarchical_projectors,
         }

@@ -40,6 +40,7 @@ from repro.feti.config import (
     ScatterGatherDevice,
 )
 from repro.feti.preconditioner import PreconditionerKind
+from repro.feti.projector import COARSE_MODES
 from repro.feti.problem import FetiProblem
 from repro.runtime.executor import ExecutionError, ExecutionSpec
 
@@ -156,6 +157,12 @@ class SolverSpec:
         string (``"processes"``, ``"threads:4"``), a ``{"backend", "workers"}``
         dict, or ``None`` for the process-wide default (``REPRO_EXECUTOR`` /
         ``REPRO_WORKERS``, serial when unset).
+    coarse:
+        Coarse-problem factorization of the PCPG projector: ``"dense"``
+        (one Cholesky of ``GᵀG`` — the exact reference), ``"hierarchical"``
+        (per-cluster Cholesky + interface Schur complement, results equal
+        to rounding), or ``"auto"`` (hierarchical iff the decomposition has
+        more than one cluster).
     machine:
         Advanced escape hatch: a full :class:`MachineConfig` (custom cost
         models).  Mutually exclusive with ``threads_per_cluster`` /
@@ -173,6 +180,7 @@ class SolverSpec:
     batched: bool = True
     blocked: bool = True
     execution: ExecutionSpec | str | None = None
+    coarse: str = "auto"
     machine: MachineConfig | None = None
 
     def __post_init__(self) -> None:
@@ -215,6 +223,14 @@ class SolverSpec:
                 object.__setattr__(self, "execution", ExecutionSpec.of(self.execution))
             except ExecutionError as exc:
                 raise SpecError(str(exc)) from None
+        if self.coarse not in COARSE_MODES:
+            raise SpecError(
+                f"unknown coarse mode {self.coarse!r}; expected one of: "
+                f"{', '.join(repr(m) for m in COARSE_MODES)} "
+                "('auto' picks the hierarchical two-level factorization on "
+                "multi-cluster decompositions and the dense reference "
+                "otherwise)"
+            )
         if self.machine is not None and (
             self.threads_per_cluster is not None or self.streams_per_cluster is not None
         ):
@@ -314,6 +330,7 @@ class SolverSpec:
             "batched": self.batched,
             "blocked": self.blocked,
             "execution": None if self.execution is None else self.execution.to_dict(),
+            "coarse": self.coarse,
         }
 
     @classmethod

@@ -42,11 +42,13 @@ from repro.bench.runner import (
     write_record,
 )
 from repro.bench.apply_phase import ApplyPhaseScenario
+from repro.bench.coarse_phase import CoarsePhaseScenario
 from repro.bench.serve_load import ServeScenario
 
 __all__ = [
     "Scenario",
     "ApplyPhaseScenario",
+    "CoarsePhaseScenario",
     "ServeScenario",
     "Workload",
     "build_feti_problem",

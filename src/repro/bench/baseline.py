@@ -14,7 +14,11 @@ classifies every metric difference:
   CI runners);
 * **invariants** (problem shapes) and the point set itself must match
   exactly — any difference is a blocking *mismatch* meaning the scenario
-  definition changed and the baseline must be regenerated.
+  definition changed and the baseline must be regenerated;
+* **derived** record-level metrics (the wall and coarse-problem speedups)
+  are ratios of measurements and never gated — drifts beyond the simulated
+  rtol are surfaced as non-blocking *info* rows so the CI summary shows how
+  the speedups moved.
 
 Exit-code semantics (used by ``repro-bench compare`` and CI):
 ``0`` — no blocking differences; ``1`` — at least one regression/mismatch;
@@ -62,7 +66,7 @@ class Difference:
     metric: str
     baseline: float | None
     fresh: float | None
-    kind: str  # "regression" | "improvement" | "mismatch"
+    kind: str  # "regression" | "improvement" | "mismatch" | "info"
     blocking: bool
 
     @property
@@ -246,7 +250,44 @@ def compare_records(
             )
             continue
         _compare_point(name, key, bp, fp, tol, report)
+    _compare_derived(name, baseline, fresh, tol, report)
     return report
+
+
+def _compare_derived(
+    name: str,
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    tol: Tolerances,
+    report: ComparisonReport,
+) -> None:
+    """Surface record-level derived metrics (speedups) as non-blocking rows.
+
+    Derived metrics are ratios of measurements — the coarse-problem and
+    executor speedups among them — so they drift with wall noise and are
+    never gated; the rows exist so the CI summary shows how the derived
+    speedups moved without failing the gate.  A metric present on only one
+    side (e.g. a baseline predating the coarse axis) is informational too.
+    """
+    base_metrics = baseline.get("derived", {})
+    fresh_metrics = fresh.get("derived", {})
+    for metric in sorted(base_metrics.keys() | fresh_metrics.keys()):
+        bv, fv = base_metrics.get(metric), fresh_metrics.get(metric)
+        if bv is not None and fv is not None:
+            bv, fv = float(bv), float(fv)
+            if abs(bv) <= tol.atol or abs(fv / bv - 1.0) <= tol.simulated_rtol:
+                continue
+        report.differences.append(
+            Difference(
+                scenario=name,
+                point="-",
+                metric=f"derived.{metric}",
+                baseline=None if bv is None else float(bv),
+                fresh=None if fv is None else float(fv),
+                kind="info",
+                blocking=False,
+            )
+        )
 
 
 def _compare_point(

@@ -100,6 +100,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for --executor (default: the host's CPU count)",
     )
     p_run.add_argument(
+        "--coarse",
+        choices=["dense", "hierarchical"],
+        help=(
+            "force one coarse-problem factorization for every measured point "
+            "(replaces the scenarios' own coarse axis; non-dense point keys "
+            "gain the coarse suffix, so compare ad-hoc runs against each "
+            "other, not against committed baselines)"
+        ),
+    )
+    p_run.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -181,6 +191,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "tags": sorted(s.tags),
                 "n_points": s.n_points(),
                 "approaches": [a.value for a in s.approaches],
+                "axes": s.axes(),
             }
             for s in selected
         ]
@@ -206,6 +217,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
             title=f"{len(rows)} registered scenario(s)",
         )
     )
+    print("\nsweep axes (swept values separated by |):")
+    for s in selected:
+        axes = ", ".join(
+            f"{axis}={'|'.join(values)}" for axis, values in s.axes().items()
+        )
+        print(f"  {s.name}: {axes}")
     return 0
 
 
@@ -303,10 +320,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         get_scenario = registry.get
     for name in names:
         scenario = get_scenario(name)
-        if executor_override is not None:
+        if executor_override is not None or args.coarse is not None:
             from dataclasses import replace as dc_replace
 
-            scenario = dc_replace(scenario, execution=executor_override)
+            if executor_override is not None:
+                scenario = dc_replace(scenario, execution=executor_override)
+            if args.coarse is not None:
+                scenario = dc_replace(scenario, coarse=(args.coarse,))
         print(f"running {name} ({scenario.n_points()} grid points)...", flush=True)
         try:
             result = run_scenario(

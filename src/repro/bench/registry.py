@@ -8,10 +8,11 @@ runnable (``repro-bench run``), and regression-gated against committed
 baselines (``repro-bench compare``) — and gives the pytest benchmark suite
 and the CLI one shared source of scenario truth.
 
-A scenario's sweep grid always has five axes (``subdomains``, ``cells``,
-``approach``, ``batched``, ``blocked``); axes not explicitly swept are pinned
-to the base workload values, so a scenario record is a cartesian product
-executed with :func:`repro.analysis.sweep.sweep_configurations`.
+A scenario's sweep grid always has seven axes (``subdomains``, ``cells``,
+``approach``, ``batched``, ``blocked``, ``execution``, ``coarse``); axes not
+explicitly swept are pinned to the base workload values, so a scenario
+record is a cartesian product executed with
+:func:`repro.analysis.sweep.sweep_configurations`.
 
 Since PR 4 a scenario's base workload *is* a :class:`repro.api.Workload` —
 the same declarative, JSON-serializable object the Session API and
@@ -72,6 +73,12 @@ class Scenario:
         worker pool — sweeping e.g. ``(None, ExecutionSpec("threads", 4),
         ExecutionSpec("processes", 4))`` measures the wall-clock scaling of
         the preprocessing phase over worker counts.
+    coarse:
+        Coarse-problem factorizations to sweep (the ``coarse`` axis):
+        ``"dense"`` is the single dense Cholesky reference,
+        ``"hierarchical"`` the two-level per-cluster + interface-Schur
+        solver; ``("dense", "hierarchical")`` benchmarks the hierarchy
+        against the dense factorization on multi-cluster workloads.
     subdomain_grid:
         Optional sweep axis over subdomain grids (``base.subdomains`` if
         unset).
@@ -95,6 +102,7 @@ class Scenario:
     batched: tuple[bool, ...] = (True,)
     blocked: tuple[bool, ...] = (True,)
     execution: tuple[ExecutionSpec | None, ...] = (None,)
+    coarse: tuple[str, ...] = ("dense",)
     subdomain_grid: tuple[tuple[int, ...], ...] | None = None
     cells_grid: tuple[int, ...] | None = None
     n_applies: int = 3
@@ -102,7 +110,7 @@ class Scenario:
     expected: dict[str, int] = field(default_factory=dict)
 
     def grid(self) -> dict[str, list[Any]]:
-        """The cartesian sweep grid of the scenario (six fixed axes)."""
+        """The cartesian sweep grid of the scenario (seven fixed axes)."""
         return {
             "subdomains": list(self.subdomain_grid or (self.base.subdomains,)),
             "cells": list(self.cells_grid or (self.base.cells,)),
@@ -110,6 +118,29 @@ class Scenario:
             "batched": list(self.batched),
             "blocked": list(self.blocked),
             "execution": list(self.execution),
+            "coarse": list(self.coarse),
+        }
+
+    def axes(self) -> dict[str, list[str]]:
+        """Human-readable sweep-axis values (``repro-bench list`` output).
+
+        Every grid axis maps to the strings a reader would recognise from
+        point keys: approaches by enum value, executions by their
+        ``describe()`` short form (``serial`` for the reference), grids as
+        ``AxB``.
+        """
+        grid = self.grid()
+        return {
+            "subdomains": ["x".join(str(v) for v in s) for s in grid["subdomains"]],
+            "cells": [str(c) for c in grid["cells"]],
+            "approach": [a.value for a in grid["approach"]],
+            "batched": [str(b).lower() for b in grid["batched"]],
+            "blocked": [str(b).lower() for b in grid["blocked"]],
+            "execution": [
+                "serial" if e is None or not e.parallel else e.describe()
+                for e in grid["execution"]
+            ],
+            "coarse": [str(c) for c in grid["coarse"]],
         }
 
     def n_points(self) -> int:
@@ -313,6 +344,20 @@ def _register_defaults() -> None:
             n_applies=2,
             tags=frozenset({"quick", "wall", "runtime", "scaling"}),
             expected={"n_subdomains": 64, "dofs_per_subdomain": 81, "kernel_dim": 1},
+        )
+    )
+    register(
+        Scenario(
+            name="multicluster_heat_2d",
+            description="Hierarchical vs dense coarse problem: heat 2D, 4x4 subdomains in 4 clusters",
+            base=Workload("heat", 2, (4, 4), 4, n_clusters=4),
+            approaches=(
+                DualOperatorApproach.IMPLICIT_MKL,
+                DualOperatorApproach.EXPLICIT_MKL,
+            ),
+            coarse=("dense", "hierarchical"),
+            tags=frozenset({"quick", "cluster"}),
+            expected={"n_subdomains": 16, "kernel_dim": 1},
         )
     )
     register(

@@ -43,6 +43,7 @@ from repro.api.workload import Workload
 from repro.bench.registry import Scenario
 from repro.cluster.topology import MachineConfig
 from repro.feti.config import DualOperatorApproach
+from repro.feti.projector import build_projector
 from repro.runtime.executor import ExecutionSpec
 
 __all__ = [
@@ -100,6 +101,8 @@ class PointMeasurement:
     sim_apply_seconds: float
     wall_preprocessing_seconds: float
     wall_apply_seconds: float
+    wall_coarse_factor_seconds: float
+    wall_coarse_apply_seconds: float
     q: np.ndarray
 
 
@@ -111,8 +114,9 @@ def measure_point(
     blocked: bool = True,
     n_applies: int = 3,
     execution: ExecutionSpec | None = None,
+    coarse: str = "dense",
 ) -> PointMeasurement:
-    """Measure one (workload, approach, batched, blocked, execution) point.
+    """Measure one (workload, approach, batched, blocked, execution, coarse) point.
 
     Simulated times come from the operator's timing ledger; wall-clock times
     wrap the real execution of prepare+preprocess and of the ``n_applies``
@@ -121,7 +125,10 @@ def measure_point(
     pays its own symbolic-analysis cost.  ``execution`` selects the runtime
     backend of the point (``None`` = the serial reference); the session
     warms the worker pool at construction — before the timed region — and
-    shuts it down when the measurement is done.
+    shuts it down when the measurement is done.  ``coarse`` selects the
+    coarse-problem factorization benchmarked alongside the operator: the
+    projector build (G^T G factorization) and ``n_applies`` projector
+    applications are timed on the same workload.
     """
     session = Session(
         SolverSpec(
@@ -147,6 +154,14 @@ def measure_point(
         for _ in range(max(1, n_applies)):
             q = operator.apply(x)
         wall_apply = (time.perf_counter() - wall0) / max(1, n_applies)
+
+        wall0 = time.perf_counter()
+        projector = build_projector(problem, mode=coarse)
+        wall_coarse_factor = time.perf_counter() - wall0
+        wall0 = time.perf_counter()
+        for _ in range(max(1, n_applies)):
+            projector.apply(x)
+        wall_coarse_apply = (time.perf_counter() - wall0) / max(1, n_applies)
     finally:
         session.close()
 
@@ -160,6 +175,8 @@ def measure_point(
         sim_apply_seconds=operator.application_time,
         wall_preprocessing_seconds=wall_preprocessing,
         wall_apply_seconds=wall_apply,
+        wall_coarse_factor_seconds=wall_coarse_factor,
+        wall_coarse_apply_seconds=wall_coarse_apply,
         q=q,
     )
 
@@ -171,13 +188,15 @@ def point_key(
     batched: bool,
     blocked: bool = True,
     execution: ExecutionSpec | None = None,
+    coarse: str = "dense",
 ) -> str:
     """Stable human-readable identity of a grid point (used for pairing).
 
-    The ``blocked=True`` / ``execution=None`` defaults leave historical keys
-    unchanged; scalar sparse-kernel points are suffixed with ``/scalar`` and
-    sharded runtime points with the executor short form (e.g.
-    ``/processes4``).
+    The ``blocked=True`` / ``execution=None`` / ``coarse="dense"`` defaults
+    leave historical keys unchanged; scalar sparse-kernel points are
+    suffixed with ``/scalar``, sharded runtime points with the executor
+    short form (e.g. ``/processes4``), and non-dense coarse solvers with
+    the coarse mode (e.g. ``/hierarchical``).
     """
     grid = "x".join(str(s) for s in subdomains)
     key = f"{grid}/c{cells}/{approach.value}/{'batched' if batched else 'looped'}"
@@ -185,6 +204,8 @@ def point_key(
         key += "/scalar"
     if execution is not None and execution.parallel:
         key += f"/{execution.describe()}"
+    if coarse != "dense":
+        key += f"/{coarse}"
     return key
 
 
@@ -230,18 +251,18 @@ def run_scenario(
         batched: bool,
         blocked: bool,
         execution: ExecutionSpec | None,
+        coarse: str,
     ) -> dict[str, Any]:
         spec = scenario.spec_with(subdomains, cells)
-        args = (spec, approach, batched, blocked, scenario.n_applies, execution)
+        args = (spec, approach, batched, blocked, scenario.n_applies, execution, coarse)
+        key = point_key(subdomains, cells, approach, batched, blocked, execution, coarse)
         if point_timeout is not None:
-            m = _measure_with_timeout(
-                args, point_timeout, point_key(subdomains, cells, approach, batched, blocked, execution)
-            )
+            m = _measure_with_timeout(args, point_timeout, key)
         else:
             m = measure_point(*args)
-        qs[(subdomains, cells, approach, batched, blocked, execution)] = m.q
+        qs[(subdomains, cells, approach, batched, blocked, execution, coarse)] = m.q
         return {
-            "key": point_key(subdomains, cells, approach, batched, blocked, execution),
+            "key": key,
             "n_subdomains": m.n_subdomains,
             "n_lambda": m.n_lambda,
             "dofs_per_subdomain": m.dofs_per_subdomain,
@@ -251,6 +272,8 @@ def run_scenario(
             "sim_apply_seconds": m.sim_apply_seconds,
             "wall_preprocessing_seconds": m.wall_preprocessing_seconds,
             "wall_apply_seconds": m.wall_apply_seconds,
+            "wall_coarse_factor_seconds": m.wall_coarse_factor_seconds,
+            "wall_coarse_apply_seconds": m.wall_coarse_apply_seconds,
         }
 
     sweep = sweep_configurations(scenario.grid(), measure)
@@ -295,17 +318,17 @@ def _check_operator_consistency(
     """Every approach — and every runtime backend — of one workload must
     compute the same dual operator (parallel results identical to serial)."""
     reference: dict[tuple[Any, ...], tuple[Any, ...]] = {}
-    for (subdomains, cells, approach, batched, blocked, execution), q in qs.items():
+    for (subdomains, cells, approach, batched, blocked, execution, coarse), q in qs.items():
         workload = (subdomains, cells)
         if workload not in reference:
-            reference[workload] = (approach, batched, blocked, execution)
+            reference[workload] = (approach, batched, blocked, execution, coarse)
             continue
         ref_point = reference[workload]
         ref_q = qs[(*workload, *ref_point)]
         if not np.allclose(q, ref_q, rtol=1e-7, atol=1e-8):
             raise InvariantViolation(
                 f"scenario {scenario.name!r}: "
-                f"{point_key(subdomains, cells, approach, batched, blocked, execution)} diverges from "
+                f"{point_key(subdomains, cells, approach, batched, blocked, execution, coarse)} diverges from "
                 f"{point_key(subdomains, cells, *ref_point)} "
                 f"(max |Δ| = {np.max(np.abs(q - ref_q)):.3e})"
             )
@@ -348,6 +371,7 @@ def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
                 "batched": bool(r["batched"]),
                 "blocked": bool(r["blocked"]),
                 "execution": None if execution is None else execution.to_dict(),
+                "coarse": str(r["coarse"]),
                 "invariants": {
                     "n_subdomains": r["n_subdomains"],
                     "n_lambda": r["n_lambda"],
@@ -362,6 +386,8 @@ def _build_record(scenario: Scenario, sweep: SweepResult) -> dict[str, Any]:
                 "wall": {
                     "preprocessing_seconds": r["wall_preprocessing_seconds"],
                     "apply_seconds": r["wall_apply_seconds"],
+                    "coarse_factor_seconds": r["wall_coarse_factor_seconds"],
+                    "coarse_apply_seconds": r["wall_coarse_apply_seconds"],
                 },
             }
         )
@@ -394,53 +420,85 @@ def _derived_metrics(sweep: SweepResult) -> dict[str, float]:
     compares the supernodal sparse kernels + pattern cache against the
     scalar path (at equal ``batched``) on the preparation+preprocessing
     wall-clock time, i.e. on the Schur-complement assembly for the explicit
-    approaches.
+    approaches.  ``wall_coarse_factor_speedup`` / ``wall_coarse_apply_speedup``
+    compare the hierarchical coarse-problem factorization and projector
+    application against the dense reference whenever a scenario sweeps both
+    coarse modes at one grid point.
     """
     derived: dict[str, float] = {}
     by_apply: dict[tuple[Any, ...], dict[bool, float]] = {}
     by_preproc: dict[tuple[Any, ...], dict[bool, float]] = {}
     by_execution: dict[tuple[Any, ...], dict[Any, float]] = {}
+    by_coarse: dict[tuple[Any, ...], dict[str, tuple[float, float]]] = {}
     for r in sweep.records:
+        coarse = r["coarse"]
+        coarse_variant = (
+            r["subdomains"], r["cells"], r["approach"], r["batched"],
+            r["blocked"], r["execution"],
+        )
+        by_coarse.setdefault(coarse_variant, {})[coarse] = (
+            r["wall_coarse_factor_seconds"],
+            r["wall_coarse_apply_seconds"],
+        )
         if r["execution"] is not None and r["execution"].parallel:
             # Parallel points only feed the executor-scaling metric below;
             # mixing them into the batched/blocked pairings would pair a
             # sharded run against a serial reference of the other toggle.
-            variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"])
+            variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"], coarse)
             by_execution.setdefault(variant, {})[r["execution"]] = r[
                 "wall_preprocessing_seconds"
             ]
             continue
-        apply_variant = (r["subdomains"], r["cells"], r["approach"], r["blocked"])
+        apply_variant = (r["subdomains"], r["cells"], r["approach"], r["blocked"], coarse)
         by_apply.setdefault(apply_variant, {})[r["batched"]] = r["wall_apply_seconds"]
-        preproc_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"])
+        preproc_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], coarse)
         by_preproc.setdefault(preproc_variant, {})[r["blocked"]] = r[
             "wall_preprocessing_seconds"
         ]
-        exec_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"])
+        exec_variant = (r["subdomains"], r["cells"], r["approach"], r["batched"], r["blocked"], coarse)
         by_execution.setdefault(exec_variant, {})[None] = r["wall_preprocessing_seconds"]
-    for (subdomains, cells, approach, batched, blocked), walls in by_execution.items():
+    for (subdomains, cells, approach, batched, blocked, execution), walls in by_coarse.items():
+        dense = walls.get("dense")
+        hier = walls.get("hierarchical")
+        if dense is None or hier is None:
+            continue
+        grid = "x".join(str(s) for s in subdomains)
+        backend = (
+            f"/{execution.describe()}"
+            if execution is not None and execution.parallel
+            else ""
+        )
+        stem = f"{grid}/c{cells}/{approach.value}{backend}"
+        if hier[0] > 0.0:
+            derived[f"wall_coarse_factor_speedup[{stem}]"] = dense[0] / hier[0]
+        if hier[1] > 0.0:
+            derived[f"wall_coarse_apply_speedup[{stem}]"] = dense[1] / hier[1]
+    for (subdomains, cells, approach, batched, blocked, coarse), walls in by_execution.items():
         serial_wall = walls.get(None)
         if serial_wall is None:
             continue
+        coarse_suffix = "" if coarse == "dense" else f"/{coarse}"
         for execution, wall in walls.items():
             if execution is None or wall <= 0.0:
                 continue
             grid = "x".join(str(s) for s in subdomains)
             key = (
                 "wall_preprocessing_speedup"
-                f"[{grid}/c{cells}/{approach.value}/{execution.describe()}]"
+                f"[{grid}/c{cells}/{approach.value}/{execution.describe()}{coarse_suffix}]"
             )
             derived[key] = serial_wall / wall
-    for (subdomains, cells, approach, blocked), walls in by_apply.items():
+    for (subdomains, cells, approach, blocked, coarse), walls in by_apply.items():
         if True in walls and False in walls and walls[True] > 0.0:
             grid = "x".join(str(s) for s in subdomains)
             suffix = "" if blocked else "/scalar"
+            suffix += "" if coarse == "dense" else f"/{coarse}"
             key = f"wall_apply_speedup[{grid}/c{cells}/{approach.value}{suffix}]"
             derived[key] = walls[False] / walls[True]
-    for (subdomains, cells, approach, batched), walls in by_preproc.items():
+    for (subdomains, cells, approach, batched, coarse), walls in by_preproc.items():
         if True in walls and False in walls and walls[True] > 0.0:
             grid = "x".join(str(s) for s in subdomains)
             suffix = "" if batched else "/looped"
+            suffix += "" if coarse == "dense" else f"/{coarse}"
             key = f"wall_preprocessing_speedup[{grid}/c{cells}/{approach.value}{suffix}]"
             derived[key] = walls[False] / walls[True]
     return derived

@@ -149,7 +149,39 @@ class Machine:
     def for_decomposition(
         cls, decomposition, config: MachineConfig | None = None
     ) -> "Machine":
-        """Create a machine with one cluster per decomposition cluster."""
-        return cls(
-            n_clusters=decomposition.n_clusters, config=config or MachineConfig()
-        )
+        """Create a machine with one cluster per decomposition cluster.
+
+        Validates the decomposition's cluster assignment up front: an
+        oversized ``n_clusters`` or a stray per-subdomain cluster id would
+        otherwise surface much later as a confusing shape error inside the
+        per-cluster batch engines.
+        """
+        n_clusters = int(decomposition.n_clusters)
+        subdomains = getattr(decomposition, "subdomains", None)
+        if subdomains is not None:
+            n_subdomains = len(subdomains)
+            if n_clusters > n_subdomains:
+                raise ValueError(
+                    f"n_clusters={n_clusters} exceeds the decomposition's "
+                    f"{n_subdomains} subdomains — every cluster must own at "
+                    "least one subdomain; lower n_clusters or refine the "
+                    "subdomain grid"
+                )
+            assigned = {int(sub.cluster) for sub in subdomains}
+            stray = sorted(c for c in assigned if not 0 <= c < n_clusters)
+            if stray:
+                raise ValueError(
+                    f"subdomains are assigned to cluster id(s) {stray} outside "
+                    f"the valid range [0, {n_clusters}); their work would be "
+                    "dropped from every per-cluster batch — fix the cluster "
+                    "assignment or raise n_clusters"
+                )
+            empty = sorted(set(range(n_clusters)) - assigned)
+            if empty:
+                raise ValueError(
+                    f"cluster id(s) {empty} own no subdomains; an empty "
+                    "cluster contributes nothing but still allocates "
+                    "resources — lower n_clusters or rebalance the "
+                    "assignment"
+                )
+        return cls(n_clusters=n_clusters, config=config or MachineConfig())

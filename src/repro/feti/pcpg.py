@@ -143,6 +143,8 @@ def pcpg_block(
     max_iterations: int = 500,
     absolute_tolerance: float = 1e-300,
     callback: Callable[[int, int, float], None] | None = None,
+    apply_P_block: Callable[[np.ndarray], np.ndarray] | None = None,
+    apply_M_block: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> list[PcpgResult]:
     """Run Algorithm 1 on ``k`` right-hand sides in lockstep.
 
@@ -170,12 +172,21 @@ def pcpg_block(
         ``(n_lambda, k_active)`` block.
     apply_P, apply_M:
         The coarse projector and the preconditioner (vector callables,
-        applied per column — they are cheap relative to ``F``).
+        applied per column).
     d_columns, lambda_0_columns:
         Per-column dual right-hand sides and feasible initial iterates.
     callback:
         Optional ``callback(column, k, residual_norm)`` per column and
         iteration.
+    apply_P_block, apply_M_block:
+        Optional block forms of the projector / preconditioner: the
+        projections and preconditioner applications of all still-active
+        columns are fused into one stacked call per iteration, like the
+        dual-operator block apply.  A block form that applies its columns
+        independently (e.g. :meth:`~repro.feti.projector.Projector.
+        apply_block`) keeps the iterates bitwise identical to the
+        per-column callables.  ``None`` falls back to looping ``apply_P``
+        / ``apply_M`` over the columns.
     """
     n_cols = len(d_columns)
     if len(lambda_0_columns) != n_cols:
@@ -195,13 +206,27 @@ def pcpg_block(
     converged = [False] * n_cols
     norms: list[list[float]] = [[] for _ in range(n_cols)]
 
+    def project(columns: list[np.ndarray]) -> list[np.ndarray]:
+        """``apply_P`` over columns, fused into one stacked call if available."""
+        if apply_P_block is None or not columns:
+            return [apply_P(c) for c in columns]
+        block = apply_P_block(np.column_stack(columns))
+        return [np.ascontiguousarray(block[:, i]) for i in range(len(columns))]
+
+    def precondition(columns: list[np.ndarray]) -> list[np.ndarray]:
+        """``apply_M`` over columns, fused into one stacked call if available."""
+        if apply_M_block is None or not columns:
+            return [apply_M(c) for c in columns]
+        block = apply_M_block(np.column_stack(columns))
+        return [np.ascontiguousarray(block[:, i]) for i in range(len(columns))]
+
     r0_block = apply_F_block(np.column_stack(lam))
     r = [
         np.asarray(d_columns[j], dtype=float) - np.ascontiguousarray(r0_block[:, j])
         for j in range(n_cols)
     ]
-    w = [apply_P(r[j]) for j in range(n_cols)]
-    y = [apply_P(apply_M(w[j])) for j in range(n_cols)]
+    w = project(r)
+    y = project(precondition(w))
     p = [y[j].copy() for j in range(n_cols)]
     wy = [float(w[j] @ y[j]) for j in range(n_cols)]
 
@@ -220,7 +245,9 @@ def pcpg_block(
         if not active:
             break
         q_block = apply_F_block(np.column_stack([p[j] for j in active]))
-        still_active: list[int] = []
+        # Phase 1: per-column direction/step updates, collecting the columns
+        # that survive the positive-definiteness check.
+        updating: list[int] = []
         for pos, j in enumerate(active):
             q = np.ascontiguousarray(q_block[:, pos])
             pq = float(p[j] @ q)
@@ -234,8 +261,14 @@ def pcpg_block(
             lam[j] += scratch[j]
             np.multiply(q, delta, out=scratch[j])
             r[j] -= scratch[j]
-            w_next = apply_P(r[j])
-            y_next = apply_P(apply_M(w_next))
+            updating.append(j)
+        # Phase 2: the projections / preconditioner applications of all
+        # updated columns, fused into stacked calls where block forms exist.
+        w_nexts = project([r[j] for j in updating])
+        y_nexts = project(precondition(w_nexts))
+        # Phase 3: per-column convergence checks and direction updates.
+        still_active: list[int] = []
+        for j, w_next, y_next in zip(updating, w_nexts, y_nexts):
             wy_next = float(w_next @ y_next)
             norm = np.sqrt(abs(wy_next))
             norms[j].append(norm)

@@ -12,17 +12,31 @@ Three standard FETI preconditioners are provided:
 All preconditioners act on global dual vectors; scaling by the inverse DOF
 multiplicity is applied on both sides, the usual choice for redundant-free
 constraint sets on structured decompositions.
+
+The application is a sum of independent per-subdomain products scattered
+into overlapping ``lambda_ids``.  On a thread executor the *products* run
+in parallel (they only read shared state) while the scatter-accumulate
+stays serial in subdomain order — overlapping indices make the accumulation
+order-sensitive, so keeping it serial is what makes the threaded apply
+bitwise equal to the serial reference.  The process backend falls through
+to serial: the per-subdomain operators are scipy sparse objects whose IPC
+cost would dwarf the products.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.feti.problem import FetiProblem
+from repro.runtime.shard import balanced_spans
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import Executor
 
 __all__ = [
     "PreconditionerKind",
@@ -48,12 +62,17 @@ class PreconditionerKind(enum.Enum):
 class IdentityPreconditioner:
     """The do-nothing preconditioner (``M = I``)."""
 
-    def __init__(self, problem: FetiProblem) -> None:
+    def __init__(self, problem: FetiProblem, *, executor: "Executor | None" = None) -> None:
         self.problem = problem
+        self.executor = executor
 
     def apply(self, w: np.ndarray) -> np.ndarray:
         """Return ``w`` unchanged."""
         return w
+
+    def apply_block(self, W: np.ndarray) -> np.ndarray:
+        """Return the block unchanged."""
+        return W
 
     __call__ = apply
 
@@ -61,8 +80,13 @@ class IdentityPreconditioner:
 class _ScaledSubdomainPreconditioner:
     """Common machinery of the lumped and Dirichlet preconditioners."""
 
-    def __init__(self, problem: FetiProblem) -> None:
+    #: Smallest subdomain count worth a threaded dispatch (below it the
+    #: future overhead exceeds the per-subdomain product time).
+    _MIN_PARALLEL_SUBDOMAINS = 8
+
+    def __init__(self, problem: FetiProblem, *, executor: "Executor | None" = None) -> None:
         self.problem = problem
+        self.executor = executor
         self._scaled_B: list[sp.csr_matrix] = []
         for sub in problem.subdomains:
             scale = sp.diags(1.0 / sub.dof_multiplicity)
@@ -71,14 +95,58 @@ class _ScaledSubdomainPreconditioner:
     def _subdomain_operator(self, index: int) -> sp.spmatrix | np.ndarray:
         raise NotImplementedError
 
+    def _local_result(self, i: int, w: np.ndarray) -> np.ndarray | None:
+        """One subdomain's contribution (``None`` = nothing to scatter)."""
+        sub = self.problem.subdomains[i]
+        Bs = self._scaled_B[i]
+        local = Bs.T @ w[sub.lambda_ids]
+        return Bs @ (self._subdomain_operator(sub.index) @ local)
+
+    def _local_results(self, w: np.ndarray) -> list[np.ndarray | None]:
+        """All per-subdomain contributions, threaded where it pays off."""
+        n = len(self.problem.subdomains)
+        executor = self.executor
+        if (
+            executor is None
+            or executor.workers <= 1
+            or executor.backend != "threads"
+            or n < self._MIN_PARALLEL_SUBDOMAINS
+        ):
+            return [self._local_result(i, w) for i in range(n)]
+        results: list[np.ndarray | None] = [None] * n
+
+        def run(lo: int, hi: int):
+            def task() -> None:
+                for i in range(lo, hi):
+                    results[i] = self._local_result(i, w)
+
+            return task
+
+        futures = [
+            executor.submit(run(lo, hi))
+            for lo, hi in balanced_spans(n, executor.workers)
+        ]
+        for future in futures:
+            future.result()
+        return results
+
     def apply(self, w: np.ndarray) -> np.ndarray:
         """Apply ``M w = Σᵢ B̃ᵢ,scaled Opᵢ B̃ᵢ,scaledᵀ w``."""
+        results = self._local_results(w)
         out = np.zeros_like(w)
-        for sub, Bs in zip(self.problem.subdomains, self._scaled_B):
-            local = Bs.T @ w[sub.lambda_ids]
-            result = Bs @ (self._subdomain_operator(sub.index) @ local)
-            np.add.at(out, sub.lambda_ids, result)
+        # Serial scatter in subdomain order: lambda_ids overlap between
+        # neighbours, so accumulation order decides the rounding — fixing
+        # it keeps every backend bitwise equal to the serial reference.
+        for sub, result in zip(self.problem.subdomains, results):
+            if result is not None:
+                np.add.at(out, sub.lambda_ids, result)
         return out
+
+    def apply_block(self, W: np.ndarray) -> np.ndarray:
+        """Apply ``M`` to every column (bitwise equal to per-column apply)."""
+        return np.column_stack(
+            [self.apply(np.ascontiguousarray(W[:, j])) for j in range(W.shape[1])]
+        )
 
     __call__ = apply
 
@@ -99,8 +167,8 @@ class DirichletPreconditioner(_ScaledSubdomainPreconditioner):
     subdomain is small compared to its interior.
     """
 
-    def __init__(self, problem: FetiProblem) -> None:
-        super().__init__(problem)
+    def __init__(self, problem: FetiProblem, *, executor: "Executor | None" = None) -> None:
+        super().__init__(problem, executor=executor)
         self._schur: list[np.ndarray] = []
         self._interface_dofs: list[np.ndarray] = []
         for sub in problem.subdomains:
@@ -134,22 +202,16 @@ class DirichletPreconditioner(_ScaledSubdomainPreconditioner):
             op[np.ix_(boundary, boundary)] = S
         return op
 
-    def apply(self, w: np.ndarray) -> np.ndarray:
-        """Apply the Dirichlet preconditioner (interface-restricted)."""
-        out = np.zeros_like(w)
-        for sub, Bs, boundary, S in zip(
-            self.problem.subdomains,
-            self._scaled_B,
-            self._interface_dofs,
-            self._schur,
-        ):
-            if boundary.size == 0:
-                continue
-            local = Bs.T @ w[sub.lambda_ids]
-            restricted = S @ local[boundary]
-            full = np.zeros(sub.ndofs)
-            full[boundary] = restricted
-            np.add.at(out, sub.lambda_ids, Bs @ full)
-        return out
-
-    __call__ = apply
+    def _local_result(self, i: int, w: np.ndarray) -> np.ndarray | None:
+        # Interface-restricted product: skip the embedding of the dense
+        # Schur block into a full (ndofs, ndofs) operator.
+        boundary = self._interface_dofs[i]
+        if boundary.size == 0:
+            return None
+        sub = self.problem.subdomains[i]
+        Bs = self._scaled_B[i]
+        local = Bs.T @ w[sub.lambda_ids]
+        restricted = self._schur[i] @ local[boundary]
+        full = np.zeros(sub.ndofs)
+        full[boundary] = restricted
+        return Bs @ full

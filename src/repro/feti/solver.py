@@ -27,7 +27,7 @@ from repro.feti.preconditioner import (
     PreconditionerKind,
 )
 from repro.feti.problem import FetiProblem
-from repro.feti.projector import Projector
+from repro.feti.projector import Projector, build_projector
 from repro.sparse.cache import PatternCache
 
 if TYPE_CHECKING:  # imported lazily at runtime (repro.api imports repro.feti)
@@ -52,6 +52,9 @@ class FetiSolution:
     preprocessing: PhaseTiming
     #: Simulated seconds of the dual-operator work inside PCPG.
     dual_apply_seconds: float
+    #: Wall seconds of the coarse-problem work (projections, coarse solves)
+    #: attributable to this solve.
+    coarse_seconds: float = 0.0
 
     @property
     def iterations(self) -> int:
@@ -101,6 +104,10 @@ class FetiSolver:
             from repro.runtime.executor import shared_executor
 
             executor = shared_executor(spec.execution)
+        #: Runtime executor the coarse projector and the preconditioner
+        #: shard their per-iteration applications on (shared with the
+        #: dual operator; ``None`` = serial).
+        self.executor = executor
         self.operator: DualOperatorBase = make_dual_operator(
             spec.approach,
             problem,
@@ -119,9 +126,15 @@ class FetiSolver:
     @property
     def projector(self) -> Projector:
         """The coarse projector (built lazily: callers that only need the
-        dual operator — e.g. the bench runner — never assemble ``G``)."""
+        dual operator — e.g. the bench runner — never assemble ``G``).
+
+        The factorization follows ``spec.coarse``: ``"auto"`` resolves to
+        the hierarchical two-level solve on multi-cluster decompositions
+        and to the dense reference otherwise."""
         if self._projector is None:
-            self._projector = Projector(self.problem.assemble_G())
+            self._projector = build_projector(
+                self.problem, mode=self.spec.coarse, executor=self.executor
+            )
         return self._projector
 
     @property
@@ -130,11 +143,12 @@ class FetiSolver:
         if self._preconditioner is None:
             kind = self.spec.preconditioner
             if kind is PreconditionerKind.NONE:
-                self._preconditioner = IdentityPreconditioner(self.problem)
+                cls = IdentityPreconditioner
             elif kind is PreconditionerKind.LUMPED:
-                self._preconditioner = LumpedPreconditioner(self.problem)
+                cls = LumpedPreconditioner
             else:
-                self._preconditioner = DirichletPreconditioner(self.problem)
+                cls = DirichletPreconditioner
+            self._preconditioner = cls(self.problem, executor=self.executor)
         return self._preconditioner
 
     def prepare(self) -> PhaseTiming:
@@ -166,6 +180,7 @@ class FetiSolver:
 
         d = self.operator.dual_rhs()
         e = self.problem.compute_e()
+        coarse_before = self.projector.seconds
         lambda_0 = self.projector.initial_lambda(e)
 
         apply_count_before = self.operator.ledger.count("apply")
@@ -200,6 +215,7 @@ class FetiSolver:
             pcpg=result,
             preprocessing=preprocessing,
             dual_apply_seconds=dual_apply_seconds,
+            coarse_seconds=self.projector.seconds - coarse_before,
         )
 
     def solve_many(
@@ -254,6 +270,7 @@ class FetiSolver:
 
         n_cols = len(loads_columns)
         apply_count_before = len(self.operator.ledger.phases)
+        coarse_before = self.projector.seconds
         try:
             d_cols: list[np.ndarray] = []
             lambda_0_cols: list[np.ndarray] = []
@@ -270,6 +287,8 @@ class FetiSolver:
                 apply_F_block=apply_F_block,
                 apply_P=self.projector.apply,
                 apply_M=self.preconditioner.apply,
+                apply_P_block=self.projector.apply_block,
+                apply_M_block=self.preconditioner.apply_block,
                 d_columns=d_cols,
                 lambda_0_columns=lambda_0_cols,
                 tolerance=self.spec.tolerance,
@@ -287,6 +306,8 @@ class FetiSolver:
             apply_share = total_apply_seconds / n_cols if n_cols else 0.0
 
             solutions: list[FetiSolution] = []
+            coarse_share_known = False
+            coarse_share = 0.0
             for loads, d, result in zip(loads_columns, d_cols, results):
                 install(loads)
                 residual = (
@@ -296,6 +317,16 @@ class FetiSolver:
                 )
                 alpha = self.projector.alpha(residual)
                 primal = self.operator.primal_solution(result.lam, alpha)
+                if not coarse_share_known:
+                    # Coarse work (projections + coarse solves) is shared
+                    # across the block like the fused applies; the alpha
+                    # recoveries after this point are per-column noise.
+                    coarse_share = (
+                        (self.projector.seconds - coarse_before) / n_cols
+                        if n_cols
+                        else 0.0
+                    )
+                    coarse_share_known = True
                 solutions.append(
                     FetiSolution(
                         lam=result.lam,
@@ -304,6 +335,7 @@ class FetiSolver:
                         pcpg=result,
                         preprocessing=preprocessing,
                         dual_apply_seconds=apply_share,
+                        coarse_seconds=coarse_share,
                     )
                 )
             return solutions

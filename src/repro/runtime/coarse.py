@@ -1,0 +1,228 @@
+"""Sharded coarse-problem products: ``G @ x`` and ``Gᵀ @ x`` on the workers.
+
+Every PCPG iteration applies the coarse projector ``P = I − G(GᵀG)⁻¹Gᵀ``
+— two sparse matvecs around one small triangular solve.  PR 7 sharded the
+dual-operator apply; this module shards the two sparse products the same
+way, one :class:`ShardedCsr` per matrix orientation:
+
+``serial``
+    Falls through to ``csr @ x`` — the bit-equal reference.
+``threads``
+    The rows are split into contiguous spans (:func:`~repro.runtime.shard.
+    balanced_spans`); each span's product runs as an in-process future
+    writing its disjoint output slice.  SciPy's ``csr_matvec`` accumulates
+    each output row over that row's nonzeros independently (and releases
+    the GIL inside sparsetools), so the chunked result is bit-identical to
+    the serial one.  The stacked multi-column product chunks the same way.
+``processes``
+    The CSR triplets (``data``/``indices``/``indptr``) live in a
+    :class:`~repro.runtime.shm.SharedArena` owned by the matrix — ``G`` is
+    immutable for the lifetime of a projector, so the arena is written
+    once.  Workers attach by segment name (cached), rebuild their row-span
+    submatrix from zero-copy views once per ``(arena, span)``, and write
+    their output slice back into the arena; only slot descriptors and the
+    span cross the pipe.  Multi-column products stay in the parent (one
+    stacked SpMM is already the amortized form — see
+    :func:`~repro.runtime.apply.sharded_matvec_multi`).
+
+Sharding is an execution strategy, not a numerical change: every path
+computes the same per-row dot products on the same float64 data.  Small
+matrices are not worth a dispatch — below :func:`min_coarse_rows` every
+backend falls through to the serial reference.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.runtime.shard import balanced_spans
+from repro.runtime.shm import SharedArena, attach_cached, slot_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import Executor
+
+__all__ = ["min_coarse_rows", "ShardedCsr"]
+
+
+def min_coarse_rows() -> int:
+    """Smallest row count worth sharding (``REPRO_COARSE_MIN_ROWS``).
+
+    Below this many rows the dispatch overhead (futures, and for processes
+    one IPC round-trip per span) exceeds the sparse-kernel time, so the
+    product falls through to the serial reference.
+    """
+    raw = os.environ.get("REPRO_COARSE_MIN_ROWS", "").strip()
+    try:
+        return max(1, int(raw)) if raw else 256
+    except ValueError:
+        return 256
+
+
+class ShardedCsr:
+    """One immutable CSR matrix with executor-sharded products.
+
+    Row-span submatrices are sliced lazily per worker count and cached —
+    ``csr[lo:hi]`` preserves the per-row nonzero order, which is what makes
+    the chunked products bit-identical to the serial ones.
+    """
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        self.csr = sp.csr_matrix(matrix)
+        self._chunks: dict[int, list[tuple[int, int, sp.csr_matrix]]] = {}
+        self._process_state: _ProcessCsrState | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)`` of the matrix."""
+        return self.csr.shape
+
+    def _spans(self, workers: int) -> list[tuple[int, int, sp.csr_matrix]]:
+        chunks = self._chunks.get(workers)
+        if chunks is None:
+            chunks = [
+                (lo, hi, self.csr[lo:hi])
+                for lo, hi in balanced_spans(self.csr.shape[0], workers)
+            ]
+            self._chunks[workers] = chunks
+        return chunks
+
+    def _fall_through(self, executor: "Executor | None") -> bool:
+        return (
+            executor is None
+            or executor.workers <= 1
+            or executor.backend == "serial"
+            or self.csr.shape[0] < min_coarse_rows()
+            or self.csr.nnz == 0
+        )
+
+    def matvec(self, x: np.ndarray, executor: "Executor | None" = None) -> np.ndarray:
+        """``csr @ x`` for a 1-D ``x``, sharded on the executor."""
+        if self._fall_through(executor):
+            return self.csr @ x
+        if executor.backend == "threads":
+            return self._thread_product(x, executor)
+        return self._process_matvec(x, executor)
+
+    def matmat(self, X: np.ndarray, executor: "Executor | None" = None) -> np.ndarray:
+        """``csr @ X`` for a 2-D ``X``, row-chunked across thread workers.
+
+        The process backend runs the stacked product in the parent: one
+        SpMM is already the amortized form, and sharding it across
+        processes would re-introduce the IPC the stacking removed.
+        """
+        if self._fall_through(executor) or executor.backend != "threads":
+            return self.csr @ X
+        return self._thread_product(X, executor)
+
+    def _thread_product(self, x: np.ndarray, executor: "Executor") -> np.ndarray:
+        out = np.empty(
+            (self.csr.shape[0],) + x.shape[1:],
+            dtype=np.result_type(self.csr.dtype, x.dtype),
+        )
+
+        def run(lo: int, hi: int, chunk: sp.csr_matrix):
+            def task() -> None:
+                out[lo:hi] = chunk @ x
+
+            return task
+
+        futures = [
+            executor.submit(run(lo, hi, chunk))
+            for lo, hi, chunk in self._spans(executor.workers)
+        ]
+        for future in futures:
+            future.result()
+        return out
+
+    # ----------------------------------------------------------------- #
+    # Process backend: arena-resident triplets + slot-descriptor tasks   #
+    # ----------------------------------------------------------------- #
+    def _process_matvec(self, x: np.ndarray, executor: "Executor") -> np.ndarray:
+        state = self._process_state
+        if state is None:
+            state = _ProcessCsrState(self.csr)
+            self._process_state = state
+        x_view = state.arena.view(state.x_slot)
+        x_view[...] = x
+        name = state.arena.name
+        futures = [
+            executor.submit(
+                _csr_span_matvec,
+                (
+                    name,
+                    state.data_slot,
+                    state.indices_slot,
+                    state.indptr_slot,
+                    state.x_slot,
+                    state.out_slot,
+                    self.csr.shape[1],
+                    lo,
+                    hi,
+                ),
+            )
+            for lo, hi in balanced_spans(self.csr.shape[0], executor.workers)
+        ]
+        for future in futures:
+            future.result()
+        # Copy out of the arena so nothing returned aliases it and the next
+        # matvec can overwrite the slots freely.
+        return np.array(state.arena.view(state.out_slot), copy=True)
+
+
+class _ProcessCsrState:
+    """The shared-memory residence of one CSR matrix (parent side)."""
+
+    def __init__(self, csr: sp.csr_matrix) -> None:
+        arena = SharedArena()
+        self.data_slot = arena.allocate_of(csr.data)
+        self.indices_slot = arena.allocate_of(csr.indices)
+        self.indptr_slot = arena.allocate_of(csr.indptr)
+        self.x_slot = arena.allocate((csr.shape[1],))
+        self.out_slot = arena.allocate((csr.shape[0],))
+        arena.create()
+        # G is immutable: the triplets are written exactly once.
+        arena.write(self.data_slot, csr.data)
+        arena.write(self.indices_slot, csr.indices)
+        arena.write(self.indptr_slot, csr.indptr)
+        self.arena = arena
+
+
+#: Worker-local cache of reconstructed row-span submatrices, keyed by
+#: ``(arena name, lo, hi)``.  The arena content is immutable, so a cached
+#: chunk never goes stale; the cache is bounded alongside the attach cache.
+_SPAN_CACHE: dict[tuple[str, int, int], sp.csr_matrix] = {}
+_SPAN_CACHE_CAP = 64
+
+
+def _csr_span_matvec(args: tuple) -> bool:
+    """Worker task: one row span of the arena-resident sparse matvec."""
+    name, data_slot, indices_slot, indptr_slot, x_slot, out_slot, n_cols, lo, hi = args
+    buf = attach_cached(name)
+    key = (name, lo, hi)
+    chunk = _SPAN_CACHE.get(key)
+    if chunk is None:
+        data = slot_view(buf, data_slot)
+        indices = slot_view(buf, indices_slot)
+        indptr = slot_view(buf, indptr_slot)
+        start, stop = int(indptr[lo]), int(indptr[hi])
+        # Copy the span out of the arena: the cached chunk must survive
+        # arena eviction from the attach cache.
+        chunk = sp.csr_matrix(
+            (
+                np.array(data[start:stop], copy=True),
+                np.array(indices[start:stop], copy=True),
+                np.array(indptr[lo : hi + 1], copy=True) - start,
+            ),
+            shape=(hi - lo, n_cols),
+        )
+        if len(_SPAN_CACHE) >= _SPAN_CACHE_CAP:
+            _SPAN_CACHE.clear()
+        _SPAN_CACHE[key] = chunk
+    x = slot_view(buf, x_slot)
+    out = slot_view(buf, out_slot)
+    out[lo:hi] = chunk @ np.array(x, copy=True)
+    return True

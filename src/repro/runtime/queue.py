@@ -76,6 +76,8 @@ class QueueSolution:
     converged: bool
     preprocessing_seconds: float
     dual_apply_seconds: float
+    #: Wall seconds of the coarse-problem work of this solve.
+    coarse_seconds: float = 0.0
 
     @classmethod
     def from_solution(cls, solution: "FetiSolution") -> "QueueSolution":
@@ -87,6 +89,7 @@ class QueueSolution:
             converged=solution.converged,
             preprocessing_seconds=solution.preprocessing.simulated_seconds,
             dual_apply_seconds=solution.dual_apply_seconds,
+            coarse_seconds=solution.coarse_seconds,
         )
 
 

@@ -30,6 +30,7 @@ class ServeMetrics:
     def __init__(self, window: int = 2048) -> None:
         self._lock = threading.Lock()
         self._counters: Counter[str] = Counter()
+        self._totals: Counter[str] = Counter()
         self._latencies: deque[float] = deque(maxlen=window)
         self._started = time.monotonic()
 
@@ -37,6 +38,16 @@ class ServeMetrics:
         """Increment a named counter."""
         with self._lock:
             self._counters[name] += n
+
+    def add(self, name: str, value: float) -> None:
+        """Accumulate a named float total (e.g. cumulative coarse seconds)."""
+        with self._lock:
+            self._totals[name] += float(value)
+
+    def total(self, name: str) -> float:
+        """Current value of a float total (0.0 when never accumulated)."""
+        with self._lock:
+            return float(self._totals[name])
 
     def observe_latency(self, seconds: float) -> None:
         """Record one request's wall latency into the window."""
@@ -52,6 +63,7 @@ class ServeMetrics:
         """The metrics document served by ``GET /v1/metrics``."""
         with self._lock:
             counters = dict(self._counters)
+            totals = {name: float(v) for name, v in self._totals.items()}
             window = sorted(self._latencies)
             uptime = time.monotonic() - self._started
         latency: dict[str, Any] = {"window": len(window)}
@@ -66,5 +78,6 @@ class ServeMetrics:
         return {
             "uptime_seconds": uptime,
             "counters": counters,
+            "totals": totals,
             "latency_seconds": latency,
         }

@@ -132,10 +132,18 @@ class SessionPool:
         patterns = []
         stacked_solves = 0
         stacked_columns = 0
+        coarse_applies = 0
+        coarse_solves = 0
+        coarse_seconds = 0.0
+        hierarchical_projectors = 0
         for key, entry in entries:
             stats = entry.session.cache_stats()
             stacked_solves += stats["stacked_solves"]
             stacked_columns += stats["stacked_columns"]
+            coarse_applies += stats["coarse_applies"]
+            coarse_solves += stats["coarse_solves"]
+            coarse_seconds += stats["coarse_seconds"]
+            hierarchical_projectors += stats["hierarchical_projectors"]
             patterns.append(
                 {
                     "pattern": list(key[:2]) + [list(key[2]), *key[3:6], list(key[6])],
@@ -146,6 +154,8 @@ class SessionPool:
                     "solver_reuses": stats["solver_reuses"],
                     "stacked_solves": stats["stacked_solves"],
                     "stacked_columns": stats["stacked_columns"],
+                    "coarse_applies": stats["coarse_applies"],
+                    "coarse_seconds": stats["coarse_seconds"],
                 }
             )
         return {
@@ -154,5 +164,9 @@ class SessionPool:
             "evictions": evictions,
             "stacked_solves": stacked_solves,
             "stacked_columns": stacked_columns,
+            "coarse_applies": coarse_applies,
+            "coarse_solves": coarse_solves,
+            "coarse_seconds": coarse_seconds,
+            "hierarchical_projectors": hierarchical_projectors,
             "patterns": patterns,
         }

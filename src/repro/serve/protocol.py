@@ -216,6 +216,7 @@ def solution_payload(
         "lam_norm": float(np.linalg.norm(solution.lam)),
         "preprocessing_seconds": solution.preprocessing_seconds,
         "dual_apply_seconds": solution.dual_apply_seconds,
+        "coarse_seconds": solution.coarse_seconds,
     }
     if return_primal:
         result["primal"] = [np.asarray(u, dtype=float).tolist() for u in solution.primal]

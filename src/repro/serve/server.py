@@ -342,6 +342,9 @@ class SolveServer:
         elapsed = monotonic() - started
         self.metrics.count("solve_completed")
         self.metrics.observe_latency(elapsed)
+        # Cumulative coarse-problem wall seconds across completed solves —
+        # lands under "totals" in /v1/metrics next to the pool's counters.
+        self.metrics.add("coarse_seconds", solution.coarse_seconds)
         payload = solution_payload(
             solution,
             solve_seconds=elapsed,

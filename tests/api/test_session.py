@@ -186,3 +186,25 @@ def test_autotune_returns_ranked_configurations():
     assert len(results) > 1
     times = [m.preprocessing_seconds + m.application_seconds for m in results]
     assert times == sorted(times)
+
+
+def test_cache_stats_report_coarse_problem_counters():
+    """PR 8: per-solve coarse timing surfaces through Session.cache_stats."""
+    multi = Workload("heat", 2, (4, 4), 3, n_clusters=4)
+    with Session(SolverSpec(approach="expl mkl")) as session:
+        result = session.solve(multi)
+        assert result.converged
+        stats = session.cache_stats()
+    assert stats["hierarchical_projectors"] == 1  # coarse="auto" resolved
+    assert stats["coarse_solves"] >= 2  # lambda_0 and alpha at minimum
+    assert stats["coarse_applies"] >= 1
+    assert stats["coarse_seconds"] > 0.0
+
+
+def test_cache_stats_coarse_counters_zero_before_any_solve():
+    with Session(SolverSpec()) as session:
+        stats = session.cache_stats()
+    assert stats["coarse_applies"] == 0
+    assert stats["coarse_solves"] == 0
+    assert stats["coarse_seconds"] == 0.0
+    assert stats["hierarchical_projectors"] == 0

@@ -90,7 +90,8 @@ def test_scenario_grid_axes_and_point_count():
     scenario = registry.get("heat_2d_scaling")
     grid = scenario.grid()
     assert sorted(grid) == [
-        "approach", "batched", "blocked", "cells", "execution", "subdomains",
+        "approach", "batched", "blocked", "cells", "coarse", "execution",
+        "subdomains",
     ]
     assert grid["subdomains"] == [(2, 2), (4, 4)]
     assert grid["execution"] == [None]

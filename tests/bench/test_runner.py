@@ -205,10 +205,10 @@ class TestExecutionAxis:
         scenario = registry.get("smoke_heat_2d")
         q = np.ones(3)
         qs = {
-            ((2, 1), 2, DualOperatorApproach.IMPLICIT_MKL, True, True, None): q,
+            ((2, 1), 2, DualOperatorApproach.IMPLICIT_MKL, True, True, None, "dense"): q,
             (
                 (2, 1), 2, DualOperatorApproach.IMPLICIT_MKL, True, True,
-                ExecutionSpec("threads", 2),
+                ExecutionSpec("threads", 2), "dense",
             ): 2.0 * q,
         }
         with pytest.raises(InvariantViolation, match="threads2"):

@@ -81,3 +81,41 @@ def test_machine_config_rejects_non_integer_worker_counts(field):
 def test_machine_config_rejects_non_positive_gpu_memory():
     with pytest.raises(ValueError, match="gpu_memory_bytes"):
         MachineConfig(gpu_memory_bytes=0)
+
+
+# --------------------------------------------------------------------- #
+# for_decomposition cluster-assignment validation                        #
+# --------------------------------------------------------------------- #
+class _FakeSub:
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+
+class _FakeDecomposition:
+    def __init__(self, n_clusters, clusters):
+        self.n_clusters = n_clusters
+        self.subdomains = [_FakeSub(c) for c in clusters]
+
+
+def test_for_decomposition_rejects_more_clusters_than_subdomains():
+    dec = _FakeDecomposition(4, [0, 1])
+    with pytest.raises(ValueError, match="lower n_clusters or refine"):
+        Machine.for_decomposition(dec)
+
+
+def test_for_decomposition_rejects_stray_cluster_ids():
+    dec = _FakeDecomposition(2, [0, 1, 5, 1])
+    with pytest.raises(ValueError, match=r"\[5\] outside"):
+        Machine.for_decomposition(dec)
+
+
+def test_for_decomposition_rejects_empty_clusters():
+    dec = _FakeDecomposition(3, [0, 0, 2, 2])
+    with pytest.raises(ValueError, match=r"\[1\] own no subdomains"):
+        Machine.for_decomposition(dec)
+
+
+def test_for_decomposition_accepts_balanced_assignment():
+    dec = _FakeDecomposition(2, [0, 0, 1, 1])
+    machine = Machine.for_decomposition(dec)
+    assert machine.n_clusters == 2

@@ -227,3 +227,65 @@ def test_session_solve_many_counts_stacked_stats():
         assert stats["stacked_solves"] == 1
         assert stats["stacked_columns"] == 3
         assert stats["solves"] == 3
+
+
+def test_block_projection_kwargs_are_bitwise_equal_to_per_column():
+    """pcpg_block with apply_P_block/apply_M_block (stacked per-column
+    applies, as the solver wires the projector and preconditioner) must be
+    bitwise identical to the per-column default path."""
+    n, k = 24, 3
+    F = _random_spd(n, 21)
+    rng = np.random.default_rng(22)
+    ds = [rng.standard_normal(n) for _ in range(k)]
+    l0s = [np.zeros(n) for _ in range(k)]
+    ident = lambda x: x
+
+    def ident_block(X):
+        return np.column_stack([np.asarray(X[:, j]) for j in range(X.shape[1])])
+
+    reference = pcpg_block(lambda X: F @ X, ident, ident, ds, l0s, tolerance=1e-10)
+    blocked = pcpg_block(
+        lambda X: F @ X,
+        ident,
+        ident,
+        ds,
+        l0s,
+        tolerance=1e-10,
+        apply_P_block=ident_block,
+        apply_M_block=ident_block,
+    )
+    for ref, blk in zip(reference, blocked):
+        assert blk.iterations == ref.iterations
+        assert np.array_equal(blk.lam, ref.lam)
+
+
+def test_block_projection_kwargs_with_real_projector():
+    """The solver's wiring: a hierarchical Projector's apply_block feeding
+    pcpg_block reproduces the per-column projector applies bitwise."""
+    from repro.api.workload import build_problem
+    from repro.feti.projector import build_projector
+
+    problem = build_problem(Workload("heat", 2, (4, 4), 3, n_clusters=4))
+    projector = build_projector(problem, mode="hierarchical")
+    n = problem.n_lambda
+    F = _random_spd(n, 23)
+    rng = np.random.default_rng(24)
+    ds = [rng.standard_normal(n) for _ in range(2)]
+    l0s = [np.zeros(n) for _ in range(2)]
+    ident = lambda x: x
+
+    reference = pcpg_block(
+        lambda X: F @ X, projector.apply, ident, ds, l0s, tolerance=1e-8
+    )
+    blocked = pcpg_block(
+        lambda X: F @ X,
+        projector.apply,
+        ident,
+        ds,
+        l0s,
+        tolerance=1e-8,
+        apply_P_block=projector.apply_block,
+    )
+    for ref, blk in zip(reference, blocked):
+        assert blk.iterations == ref.iterations
+        assert np.array_equal(blk.lam, ref.lam)

@@ -1,0 +1,74 @@
+"""Tests of the sharded coarse-problem products (repro.runtime.coarse)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.runtime.coarse import ShardedCsr, min_coarse_rows
+from repro.runtime.executor import ExecutionSpec, make_executor
+
+
+@pytest.fixture()
+def matrix():
+    rng = np.random.default_rng(31)
+    dense = rng.standard_normal((40, 12))
+    dense[np.abs(dense) < 1.0] = 0.0  # sparsify
+    return sp.csr_matrix(dense)
+
+
+def test_min_coarse_rows_env_override(monkeypatch):
+    assert min_coarse_rows() == 256
+    monkeypatch.setenv("REPRO_COARSE_MIN_ROWS", "7")
+    assert min_coarse_rows() == 7
+    monkeypatch.setenv("REPRO_COARSE_MIN_ROWS", "not-a-number")
+    assert min_coarse_rows() == 256
+
+
+def test_serial_matvec_matches_scipy(matrix):
+    x = np.arange(matrix.shape[1], dtype=float)
+    sharded = ShardedCsr(matrix)
+    assert np.array_equal(sharded.matvec(x), matrix @ x)
+    assert np.array_equal(sharded.matvec(x, None), matrix @ x)
+
+
+def test_small_matrices_fall_through_to_serial(matrix, monkeypatch):
+    # 40 rows < the 256-row default floor: the executor must not be used.
+    class ExplodingExecutor:
+        backend = "threads"
+        workers = 4
+
+        def submit(self, fn, *args, **kwargs):  # pragma: no cover
+            raise AssertionError("small product must not be sharded")
+
+    x = np.ones(matrix.shape[1])
+    sharded = ShardedCsr(matrix)
+    assert np.array_equal(sharded.matvec(x, ExplodingExecutor()), matrix @ x)
+
+
+def test_threads_matvec_is_bitwise_serial(matrix, monkeypatch):
+    monkeypatch.setenv("REPRO_COARSE_MIN_ROWS", "1")
+    x = np.linspace(-1.0, 1.0, matrix.shape[1])
+    sharded = ShardedCsr(matrix)
+    with make_executor(ExecutionSpec("threads", 4)) as executor:
+        assert np.array_equal(sharded.matvec(x, executor), matrix @ x)
+        X = np.column_stack([x, 2.0 * x, -x])
+        assert np.array_equal(sharded.matmat(X, executor), (matrix @ X))
+
+
+def test_process_matvec_is_bitwise_serial(matrix, monkeypatch):
+    monkeypatch.setenv("REPRO_COARSE_MIN_ROWS", "1")
+    x = np.linspace(0.0, 2.0, matrix.shape[1])
+    sharded = ShardedCsr(matrix)
+    with make_executor(ExecutionSpec("processes", 2)) as executor:
+        assert np.array_equal(sharded.matvec(x, executor), matrix @ x)
+
+
+def test_empty_matrix_products(monkeypatch):
+    monkeypatch.setenv("REPRO_COARSE_MIN_ROWS", "1")
+    empty = sp.csr_matrix((8, 3))
+    sharded = ShardedCsr(empty)
+    x = np.ones(3)
+    with make_executor(ExecutionSpec("threads", 2)) as executor:
+        assert np.array_equal(sharded.matvec(x, executor), np.zeros(8))

@@ -203,3 +203,21 @@ def test_server_binds_an_ephemeral_port():
         return bound
 
     assert asyncio.run(check()) > 0
+
+
+def test_metrics_accumulate_coarse_seconds(client):
+    client.solve("heat-2d-quick", rhs=3.0)
+    doc = client.metrics()
+    assert "totals" in doc
+    assert "coarse_seconds" in doc["totals"]
+    assert doc["totals"]["coarse_seconds"] >= 0.0
+    pool = doc["session_pool"]
+    assert "coarse_applies" in pool
+    assert "coarse_seconds" in pool
+    assert "hierarchical_projectors" in pool
+
+
+def test_solution_payload_reports_coarse_seconds(client):
+    reply = client.solve("heat-2d-quick", rhs=4.0)
+    assert "coarse_seconds" in reply["result"]
+    assert reply["result"]["coarse_seconds"] >= 0.0
