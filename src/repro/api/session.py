@@ -25,6 +25,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import threading
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
@@ -37,6 +38,9 @@ from repro.api.workload import Workload, build_problem, workload_preset
 from repro.feti.operators.base import DualOperatorBase
 from repro.feti.problem import FetiProblem
 from repro.feti.solver import FetiSolution, FetiSolver, MultiStepDriver, StepRecord
+from repro.memory.ledger import measure_solver
+from repro.memory.precision import resolve_precision
+from repro.memory.tier import FactorTier, parse_budget
 from repro.runtime.executor import ExecutionSpec, Executor, make_executor
 from repro.sparse.cache import PatternCache
 
@@ -96,6 +100,15 @@ class Session:
         a fresh private cache by default.  Pass
         :func:`repro.sparse.cache.global_pattern_cache` to share with the
         process-global one.
+    memory_budget:
+        Ceiling on the resident factor/pack/arena bytes of all cached
+        solvers (``"64M"``, ``1.5e9``, bytes, …; see
+        :func:`repro.memory.tier.parse_budget`).  When exceeded, the
+        coldest entries are demoted to fp32 storage and then evicted;
+        both are transparent — the next solve of an affected entry lazily
+        re-runs its numeric factorization, so results never change.
+        ``None`` (the default) consults the ``REPRO_MEMORY_BUDGET``
+        environment variable; pass ``"unlimited"`` to ignore it.
     """
 
     def __init__(
@@ -103,9 +116,15 @@ class Session:
         spec: SolverSpec | str | None = None,
         *,
         pattern_cache: PatternCache | None = None,
+        memory_budget: int | float | str | None = None,
     ) -> None:
         self.spec = SolverSpec.of(spec)
         self.pattern_cache = pattern_cache if pattern_cache is not None else PatternCache()
+        if memory_budget is None:
+            memory_budget = os.environ.get("REPRO_MEMORY_BUDGET")
+        #: The budget-aware factor tier (LRU demotion/eviction state machine
+        #: plus the byte-accurate ledger of every cached solver's storage).
+        self.tier = FactorTier(parse_budget(memory_budget))
         self.stats = SessionStats()
         self._problems: dict[Workload, FetiProblem] = {}
         self._base_loads: dict[Workload, list[np.ndarray]] = {}
@@ -115,6 +134,12 @@ class Session:
         #: mutating ``update``; cleared by the next solve, which re-runs the
         #: preprocessing instead of reusing the stale one.
         self._stale_solvers: set[tuple[Workload, SolverSpec]] = set()
+        #: Entries whose storage the tier demoted to fp32: also stale, but
+        #: their next re-preprocessing counts as a lazy re-factorization.
+        self._demoted_keys: set[tuple[Workload, SolverSpec]] = set()
+        #: Entries the tier evicted outright: rebuilding one counts as a
+        #: lazy re-factorization too.
+        self._evicted_keys: set[tuple[Workload, SolverSpec]] = set()
         #: Re-entrant lock guarding every session cache, so the ``threads``
         #: execution backend (and :class:`~repro.runtime.queue.SolveQueue`
         #: traffic) can share one session without corrupting the problem /
@@ -273,8 +298,14 @@ class Session:
                 )
                 self._solvers[key] = solver
                 self.stats.solvers_built += 1
+                if key in self._evicted_keys:
+                    # The tier evicted this entry earlier; this rebuild is
+                    # the lazy re-factorization the eviction deferred.
+                    self._evicted_keys.discard(key)
+                    self.tier.count_refactorization()
             else:
                 self.stats.solver_reuses += 1
+                self.tier.touch(key)
             return solver
 
     def operator_for(
@@ -289,6 +320,80 @@ class Session:
         never need it.
         """
         return self.solver(workload, spec).operator
+
+    # ------------------------------------------------------------------ #
+    # Memory tiering                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def memory_budget_bytes(self) -> int | None:
+        """The resident-bytes ceiling (``None`` = unlimited)."""
+        return self.tier.budget_bytes
+
+    def _after_solve(self, key: tuple[Workload, SolverSpec], solver: FetiSolver) -> None:
+        """Account a completed solve: clear staleness, measure, enforce.
+
+        Called with the workload lock held, after the solve succeeded — a
+        failed solve must keep its stale marker so the next attempt still
+        re-runs the preprocessing.
+        """
+        with self._cache_lock:
+            self._stale_solvers.discard(key)
+            refactorized = key in self._demoted_keys
+            self._demoted_keys.discard(key)
+        if refactorized:
+            self.tier.count_refactorization()
+        self._record_usage(key, solver)
+
+    def _record_usage(self, key: tuple[Workload, SolverSpec], solver: FetiSolver) -> None:
+        """Re-measure one entry's resident bytes and enforce the budget."""
+        demotable = not resolve_precision(key[1].precision).demotes
+        self.tier.record(key, measure_solver(solver), demotable=demotable)
+        self._enforce_budget(key)
+
+    def _enforce_budget(self, active_key: tuple[Workload, SolverSpec]) -> None:
+        """Demote/evict cold entries until the ledger fits the budget.
+
+        Walks the tier's LRU cold end: a full fp64 entry is first demoted
+        (factor and pack storage to fp32, entry marked stale so the next
+        touch re-factorizes instead of reading rounded values), a demoted
+        or natively-fp32 entry is evicted.  The active entry and entries
+        whose workload lock is held by an in-flight solve are skipped —
+        the budget is then temporarily exceeded rather than corrupting a
+        running solve or blocking the one that needs the memory.
+        """
+        tier = self.tier
+        if tier.budget_bytes is None:
+            return
+        exclude: set[tuple[Workload, SolverSpec]] = {active_key}
+        while tier.over_budget():
+            victim = tier.next_victim(exclude)
+            if victim is None:
+                return
+            key, action = victim
+            lock = self.workload_lock(key[0])
+            if not lock.acquire(blocking=False):
+                exclude.add(key)
+                continue
+            try:
+                with self._cache_lock:
+                    solver = self._solvers.get(key)
+                    if solver is None:
+                        # Tracked but externally dropped; just forget it.
+                        tier.mark_evicted(key)
+                        continue
+                    if action == "demote":
+                        solver.operator.demote_storage()
+                        self._stale_solvers.add(key)
+                        self._demoted_keys.add(key)
+                        tier.mark_demoted(key, measure_solver(solver))
+                    else:
+                        del self._solvers[key]
+                        self._stale_solvers.discard(key)
+                        self._demoted_keys.discard(key)
+                        self._evicted_keys.add(key)
+                        tier.mark_evicted(key)
+            finally:
+                lock.release()
 
     # ------------------------------------------------------------------ #
     # Execution                                                           #
@@ -314,12 +419,10 @@ class Session:
                 self.stats.solves += 1
                 stale = (w, s) in self._stale_solvers
             solution = solver.solve(reuse_preprocessing=not stale)
-            # Clear the stale marker only after the solve succeeded: if it
-            # raises, the next solve must still see the solver as stale
-            # instead of reusing a factorization of mutated values.
-            if stale:
-                with self._cache_lock:
-                    self._stale_solvers.discard((w, s))
+            # Account only after the solve succeeded: if it raises, the
+            # next solve must still see the solver as stale instead of
+            # reusing a factorization of mutated (or demoted) values.
+            self._after_solve((w, s), solver)
             return solution
 
     def solve_many(
@@ -360,9 +463,7 @@ class Session:
             solutions = solver.solve_many(
                 loads_columns, stacked=stacked, reuse_preprocessing=not stale
             )
-            if stale:
-                with self._cache_lock:
-                    self._stale_solvers.discard((w, s))
+            self._after_solve((w, s), solver)
             return solutions
 
     def note_stacked_solve(self, columns: int) -> None:
@@ -408,6 +509,16 @@ class Session:
     ) -> tuple[list[StepRecord], FetiSolution | None]:
         solver = self.solver(w, s)
         problem = self.problem(w)
+        # The driver re-runs the preprocessing on every step, so a demoted
+        # entry re-factorizes immediately; consume its markers up front
+        # (a custom update's ``finally`` below re-marks staleness anyway).
+        with self._cache_lock:
+            refactorized = (w, s) in self._demoted_keys
+            self._demoted_keys.discard((w, s))
+            if refactorized:
+                self._stale_solvers.discard((w, s))
+        if refactorized:
+            self.tier.count_refactorization()
         n = int(n_steps) if n_steps is not None else w.steps
         base = self._base_loads[w]
         custom_update = update is not None
@@ -444,6 +555,7 @@ class Session:
         with self._cache_lock:
             self.stats.steps += n
             self.stats.solves += n
+        self._record_usage((w, s), solver)
         return list(records), driver.last_solution
 
     def run_steps(
@@ -543,4 +655,5 @@ class Session:
             "coarse_solves": coarse_solves,
             "coarse_seconds": coarse_seconds,
             "hierarchical_projectors": hierarchical_projectors,
+            **self.tier.stats(),
         }

@@ -163,6 +163,12 @@ class SolverSpec:
         (per-cluster Cholesky + interface Schur complement, results equal
         to rounding), or ``"auto"`` (hierarchical iff the decomposition has
         more than one cluster).
+    precision:
+        Factor storage policy (see :mod:`repro.memory.precision`):
+        ``"fp64"`` (the double-precision reference), ``"fp32"``
+        (half-size factor and pack storage, solves carry the storage
+        rounding), or ``"fp32_ir"`` (fp32 storage plus iterative
+        refinement recovering fp64-level residuals).
     machine:
         Advanced escape hatch: a full :class:`MachineConfig` (custom cost
         models).  Mutually exclusive with ``threads_per_cluster`` /
@@ -181,6 +187,7 @@ class SolverSpec:
     blocked: bool = True
     execution: ExecutionSpec | str | None = None
     coarse: str = "auto"
+    precision: str = "fp64"
     machine: MachineConfig | None = None
 
     def __post_init__(self) -> None:
@@ -230,6 +237,15 @@ class SolverSpec:
                 "('auto' picks the hierarchical two-level factorization on "
                 "multi-cluster decompositions and the dense reference "
                 "otherwise)"
+            )
+        from repro.memory.precision import PRECISION_NAMES
+
+        if self.precision not in PRECISION_NAMES:
+            raise SpecError(
+                f"unknown precision {self.precision!r}; expected one of: "
+                f"{', '.join(repr(p) for p in PRECISION_NAMES)} "
+                "('fp32' stores factors in single precision, 'fp32_ir' adds "
+                "iterative refinement back to fp64-level residuals)"
             )
         if self.machine is not None and (
             self.threads_per_cluster is not None or self.streams_per_cluster is not None
@@ -331,6 +347,7 @@ class SolverSpec:
             "blocked": self.blocked,
             "execution": None if self.execution is None else self.execution.to_dict(),
             "coarse": self.coarse,
+            "precision": self.precision,
         }
 
     @classmethod

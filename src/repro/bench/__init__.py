@@ -43,12 +43,14 @@ from repro.bench.runner import (
 )
 from repro.bench.apply_phase import ApplyPhaseScenario
 from repro.bench.coarse_phase import CoarsePhaseScenario
+from repro.bench.precision_phase import PrecisionPhaseScenario
 from repro.bench.serve_load import ServeScenario
 
 __all__ = [
     "Scenario",
     "ApplyPhaseScenario",
     "CoarsePhaseScenario",
+    "PrecisionPhaseScenario",
     "ServeScenario",
     "Workload",
     "build_feti_problem",

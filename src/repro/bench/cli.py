@@ -110,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_run.add_argument(
+        "--precision",
+        choices=["fp64", "fp32", "fp32_ir"],
+        help=(
+            "force one factor-storage precision for every measured point "
+            "(replaces the scenarios' own precision axis; non-fp64 point "
+            "keys gain the precision suffix, so compare ad-hoc runs against "
+            "each other, not against committed baselines)"
+        ),
+    )
+    p_run.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -320,13 +330,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         get_scenario = registry.get
     for name in names:
         scenario = get_scenario(name)
-        if executor_override is not None or args.coarse is not None:
+        if (
+            executor_override is not None
+            or args.coarse is not None
+            or args.precision is not None
+        ):
             from dataclasses import replace as dc_replace
 
             if executor_override is not None:
                 scenario = dc_replace(scenario, execution=executor_override)
             if args.coarse is not None:
                 scenario = dc_replace(scenario, coarse=(args.coarse,))
+            if args.precision is not None:
+                scenario = dc_replace(scenario, precision=(args.precision,))
         print(f"running {name} ({scenario.n_points()} grid points)...", flush=True)
         try:
             result = run_scenario(

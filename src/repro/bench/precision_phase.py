@@ -1,0 +1,228 @@
+"""The ``precision_phase`` scenario: mixed-precision factor storage.
+
+The :mod:`repro.memory` subsystem stores supernodal factors and packed
+``local_F`` blocks at a policy dtype (``fp64`` / ``fp32`` / ``fp32_ir``,
+the last adding iterative refinement).  This scenario measures the trade on
+a multi-subdomain workload across backend classes:
+
+* **resident bytes** — the byte-accurate factor/pack/arena split of every
+  prepared solver (:meth:`~repro.feti.operators.base.DualOperatorBase.
+  storage_nbytes`), deterministic and therefore comparator-gated;
+* **true residual** — ``||P (d - F λ)||`` of the returned multipliers,
+  measured against a *separate fp64 reference solver's* operator.  A
+  reduced-precision solver's own operator is made of the same rounded
+  factors it iterated on, so self-measured residuals look perfect; only an
+  independent fp64 operator exposes the accuracy actually delivered.
+
+Wall seconds and residuals are recorded but not comparator-gated; the run
+itself enforces the PR's structural floors instead: storing fp32 factors
+must shrink factor bytes by the committed minimum ratio, and ``fp32_ir``
+must land within the committed factor of the fp64 residual on every
+measured approach (the paper-level claim that refinement recovers double
+precision from single-precision storage).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.api.workload import Workload
+from repro.bench.registry import Scenario, register
+
+__all__ = ["PrecisionPhaseScenario"]
+
+#: Precision policies measured, reference first.
+_PRECISIONS = ("fp64", "fp32", "fp32_ir")
+
+
+@dataclass
+class PrecisionPhaseScenario(Scenario):
+    """Mixed-precision storage vs accuracy across dual-operator backends."""
+
+    #: Minimum fp64/fp32 factor-bytes ratio every approach must reach
+    #: (exactly 2.0 is expected; the floor leaves headroom for retained
+    #: metadata that does not halve).
+    min_factor_bytes_reduction: float = 1.7
+    #: Ceiling on ``residual(fp32_ir) / residual(fp64)`` per approach.
+    max_ir_residual_ratio: float = 10.0
+
+    def n_points(self) -> int:
+        return len(self.approaches) * len(self.precision)
+
+    def run_record(
+        self, check_invariants: bool = True, point_timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Measure every (approach, precision) pair and build the record.
+
+        ``point_timeout`` is accepted for hook-signature compatibility but
+        unused: the solves are short and in-process.
+        """
+        from repro.api.session import Session
+        from repro.api.spec import SolverSpec
+        from repro.bench.runner import RUNNER_MACHINE
+        from repro.bench.runner import SCHEMA_VERSION as RECORD_SCHEMA_VERSION
+        from repro.bench.runner import environment_stamp
+
+        def spec_for(approach: Any, precision: str) -> SolverSpec:
+            return SolverSpec(
+                approach=approach,
+                threads_per_cluster=RUNNER_MACHINE.threads_per_cluster,
+                streams_per_cluster=RUNNER_MACHINE.streams_per_cluster,
+                precision=precision,
+            )
+
+        points: list[dict[str, Any]] = []
+        derived: dict[str, float] = {}
+        residuals: dict[tuple[str, str], float] = {}
+        storage: dict[tuple[str, str], dict[str, int]] = {}
+
+        for approach in self.approaches:
+            name = approach.value
+            # The independent fp64 reference operator every precision's
+            # multipliers are measured against.
+            with Session(spec_for(approach, "fp64")) as ref_session:
+                ref_solver = ref_session.solver(self.base)
+                ref_session.solve(self.base)  # prepares + preprocesses
+                d_ref = ref_solver.operator.dual_rhs()
+                apply_P = ref_solver.projector.apply
+
+                def true_residual(lam: np.ndarray) -> float:
+                    return float(
+                        np.linalg.norm(apply_P(d_ref - ref_solver.operator.apply(lam)))
+                    )
+
+                for precision in _PRECISIONS:
+                    # Every precision (fp64 included) runs in a fresh
+                    # session, so each point pays the same cache costs.
+                    with Session(spec_for(approach, precision)) as session:
+                        solver = session.solver(self.base)
+                        start = time.perf_counter()
+                        solution = session.solve(self.base)
+                        wall = time.perf_counter() - start
+                        report = solver.operator.storage_nbytes()
+                    residual = true_residual(solution.lam)
+                    residuals[(name, precision)] = residual
+                    storage[(name, precision)] = {k: int(v) for k, v in report.items()}
+                    points.append(
+                        {
+                            "key": f"{name}/{precision}",
+                            "invariants": {
+                                "n_lambda": int(len(solution.lam)),
+                                "n_subdomains": int(
+                                    ref_solver.problem.n_subdomains
+                                ),
+                            },
+                            "simulated": {
+                                "factor_bytes": storage[(name, precision)]["factor"],
+                                "pack_bytes": storage[(name, precision)]["pack"],
+                                "arena_bytes": storage[(name, precision)]["arena"],
+                                "resident_bytes": sum(
+                                    storage[(name, precision)].values()
+                                ),
+                            },
+                            "wall": {
+                                "solve_seconds": wall,
+                                "true_residual": residual,
+                                "iterations": float(solution.iterations),
+                                "converged": float(solution.converged),
+                            },
+                        }
+                    )
+
+            fp64_factor = storage[(name, "fp64")]["factor"]
+            fp32_factor = storage[(name, "fp32")]["factor"]
+            if fp32_factor > 0:
+                derived[f"factor_bytes_reduction[{name}]"] = fp64_factor / fp32_factor
+            fp64_total = sum(storage[(name, "fp64")].values())
+            fp32_total = sum(storage[(name, "fp32")].values())
+            if fp32_total > 0:
+                derived[f"resident_bytes_reduction[{name}]"] = fp64_total / fp32_total
+
+        if check_invariants:
+            self._check_invariants(residuals, storage)
+
+        return {
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "benchmark": self.name,
+            "scenario": {
+                "description": self.description,
+                "physics": self.base.physics,
+                "dim": self.base.dim,
+                "order": self.base.order,
+                "n_clusters": self.base.n_clusters,
+                "tags": sorted(self.tags),
+                "n_applies": self.n_applies,
+            },
+            "precision_phase": {
+                "precisions": list(_PRECISIONS),
+                "min_factor_bytes_reduction": self.min_factor_bytes_reduction,
+                "max_ir_residual_ratio": self.max_ir_residual_ratio,
+            },
+            "environment": environment_stamp(),
+            "points": points,
+            "derived": derived,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _check_invariants(
+        self,
+        residuals: dict[tuple[str, str], float],
+        storage: dict[tuple[str, str], dict[str, int]],
+    ) -> None:
+        """The run-time invariants (the comparator does not gate residuals)."""
+        from repro.bench.runner import InvariantViolation
+
+        for approach in self.approaches:
+            name = approach.value
+            fp64_res = residuals[(name, "fp64")]
+            ir_res = residuals[(name, "fp32_ir")]
+            # The absolute floor keeps a pathologically tiny fp64 residual
+            # from failing an fp32_ir run that is itself at noise level.
+            ceiling = max(self.max_ir_residual_ratio * fp64_res, 1e-11)
+            if not ir_res <= ceiling:
+                raise InvariantViolation(
+                    f"scenario {self.name!r}: {name}/fp32_ir true residual "
+                    f"{ir_res:.3e} exceeds {self.max_ir_residual_ratio}x the "
+                    f"fp64 residual {fp64_res:.3e} — iterative refinement no "
+                    "longer recovers double-precision accuracy"
+                )
+            fp64_factor = storage[(name, "fp64")]["factor"]
+            fp32_factor = storage[(name, "fp32")]["factor"]
+            ratio = fp64_factor / fp32_factor if fp32_factor else float("inf")
+            if not ratio >= self.min_factor_bytes_reduction:
+                raise InvariantViolation(
+                    f"scenario {self.name!r}: {name}/fp32 factor bytes shrink "
+                    f"only {ratio:.2f}x vs fp64 (floor: "
+                    f"{self.min_factor_bytes_reduction}x) — the storage policy "
+                    "is no longer demoting the factor values"
+                )
+
+
+def _register_default() -> None:
+    from repro.feti.config import DualOperatorApproach
+
+    register(
+        PrecisionPhaseScenario(
+            name="precision_phase",
+            description=(
+                "mixed-precision factor storage: resident bytes and true "
+                "residual (vs an fp64 reference operator) per precision policy"
+            ),
+            base=Workload("heat", 2, (4, 4), 6, n_clusters=2),
+            approaches=(
+                DualOperatorApproach("expl mkl"),
+                DualOperatorApproach("impl cholmod"),
+                DualOperatorApproach("expl modern"),
+            ),
+            precision=_PRECISIONS,
+            tags=frozenset({"quick", "wall", "memory", "precision"}),
+            expected={"n_subdomains": 16, "kernel_dim": 1},
+        )
+    )
+
+
+_register_default()

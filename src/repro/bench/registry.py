@@ -8,10 +8,10 @@ runnable (``repro-bench run``), and regression-gated against committed
 baselines (``repro-bench compare``) — and gives the pytest benchmark suite
 and the CLI one shared source of scenario truth.
 
-A scenario's sweep grid always has seven axes (``subdomains``, ``cells``,
-``approach``, ``batched``, ``blocked``, ``execution``, ``coarse``); axes not
-explicitly swept are pinned to the base workload values, so a scenario
-record is a cartesian product executed with
+A scenario's sweep grid always has eight axes (``subdomains``, ``cells``,
+``approach``, ``batched``, ``blocked``, ``execution``, ``coarse``,
+``precision``); axes not explicitly swept are pinned to the base workload
+values, so a scenario record is a cartesian product executed with
 :func:`repro.analysis.sweep.sweep_configurations`.
 
 Since PR 4 a scenario's base workload *is* a :class:`repro.api.Workload` —
@@ -79,6 +79,11 @@ class Scenario:
         ``"hierarchical"`` the two-level per-cluster + interface-Schur
         solver; ``("dense", "hierarchical")`` benchmarks the hierarchy
         against the dense factorization on multi-cluster workloads.
+    precision:
+        Factor-storage precisions to sweep (the ``precision`` axis):
+        ``"fp64"`` is the reference, ``"fp32"`` stores factors and packed
+        dual-operator blocks in single precision, ``"fp32_ir"`` adds
+        iterative refinement that recovers fp64-level residuals.
     subdomain_grid:
         Optional sweep axis over subdomain grids (``base.subdomains`` if
         unset).
@@ -103,6 +108,7 @@ class Scenario:
     blocked: tuple[bool, ...] = (True,)
     execution: tuple[ExecutionSpec | None, ...] = (None,)
     coarse: tuple[str, ...] = ("dense",)
+    precision: tuple[str, ...] = ("fp64",)
     subdomain_grid: tuple[tuple[int, ...], ...] | None = None
     cells_grid: tuple[int, ...] | None = None
     n_applies: int = 3
@@ -110,7 +116,7 @@ class Scenario:
     expected: dict[str, int] = field(default_factory=dict)
 
     def grid(self) -> dict[str, list[Any]]:
-        """The cartesian sweep grid of the scenario (seven fixed axes)."""
+        """The cartesian sweep grid of the scenario (eight fixed axes)."""
         return {
             "subdomains": list(self.subdomain_grid or (self.base.subdomains,)),
             "cells": list(self.cells_grid or (self.base.cells,)),
@@ -119,6 +125,7 @@ class Scenario:
             "blocked": list(self.blocked),
             "execution": list(self.execution),
             "coarse": list(self.coarse),
+            "precision": list(self.precision),
         }
 
     def axes(self) -> dict[str, list[str]]:
@@ -141,6 +148,7 @@ class Scenario:
                 for e in grid["execution"]
             ],
             "coarse": [str(c) for c in grid["coarse"]],
+            "precision": [str(p) for p in grid["precision"]],
         }
 
     def n_points(self) -> int:

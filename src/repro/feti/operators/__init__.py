@@ -61,6 +61,7 @@ def make_dual_operator(
     blocked: bool = True,
     pattern_cache=None,
     executor=None,
+    precision: str = "fp64",
 ) -> DualOperatorBase:
     """Instantiate one of the nine Table-III dual-operator approaches.
 
@@ -95,6 +96,11 @@ def make_dual_operator(
         shards run on (a :class:`repro.api.Session` passes the one it
         owns); ``None`` resolves to the ``REPRO_EXECUTOR`` process default
         (serial when unset).
+    precision:
+        Factor/pack storage policy (:mod:`repro.memory.precision`):
+        ``"fp64"`` (the reference), ``"fp32"`` (half-size resident factors
+        and packs), or ``"fp32_ir"`` (fp32 storage plus iterative
+        refinement back to fp64-level residuals).
     """
     config = machine_config or MachineConfig()
     cuda = approach.cuda_library
@@ -107,6 +113,7 @@ def make_dual_operator(
         "blocked": blocked,
         "pattern_cache": pattern_cache,
         "executor": executor,
+        "precision": precision,
     }
 
     if approach is DualOperatorApproach.IMPLICIT_MKL:

@@ -21,6 +21,7 @@ from repro.cluster.topology import ClusterResources, Machine
 from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators.batch import SubdomainBatchEngine
 from repro.feti.problem import FetiProblem, SubdomainProblem
+from repro.memory.precision import PrecisionPolicy, resolve_precision
 from repro.sparse.cache import PatternCache
 from repro.sparse.solvers import SparseSolverBase
 
@@ -42,10 +43,16 @@ class DualOperatorBase(abc.ABC):
         blocked: bool = True,
         pattern_cache: PatternCache | None = None,
         executor=None,
+        precision: "str | PrecisionPolicy" = "fp64",
     ) -> None:
         self.problem = problem
         self.machine = machine
         self.config = config or AssemblyConfig()
+        #: Factor/pack storage policy (see :mod:`repro.memory.precision`).
+        #: All arithmetic still runs in fp64; the policy controls what the
+        #: resident factors and packed ``F̃ᵢ`` blocks are stored as, and
+        #: whether solves are iteratively refined back to fp64 residuals.
+        self.precision = resolve_precision(precision)
         #: Run the apply phase through the batched subdomain execution
         #: engine (vectorized scatter/gather and batched kernels) instead of
         #: the per-subdomain Python loop.  Both paths are numerically
@@ -110,7 +117,11 @@ class DualOperatorBase(abc.ABC):
     def batch_engine(self) -> SubdomainBatchEngine:
         """The batched subdomain execution engine (built once, lazily)."""
         if self._batch_engine is None:
-            self._batch_engine = SubdomainBatchEngine(self.problem, self.machine)
+            self._batch_engine = SubdomainBatchEngine(
+                self.problem,
+                self.machine,
+                dense_dtype=self.precision.storage_dtype,
+            )
         return self._batch_engine
 
     @property
@@ -336,6 +347,23 @@ class DualOperatorBase(abc.ABC):
             )
         return solver.solve(rhs)
 
+    def apply_accurate(self, lam: np.ndarray) -> np.ndarray:
+        """Reference application ``q = F λ`` through the refined CPU solves.
+
+        Whatever a backend stores for its fast applies (fp32 ``local_F``
+        packs, device factors), this routes the operator through
+        :meth:`kplus_solve` — iterative refinement included under a
+        refining precision policy — so the residuals it feeds are accurate
+        to fp64 level.  The dual-level defect correction of ``fp32_ir``
+        uses it a handful of times per solve, outside the PCPG iterations
+        whose phases the benchmarks time.
+        """
+        q = np.zeros(self.problem.n_lambda)
+        for sub in self.problem.subdomains:
+            z = self.kplus_solve(sub.index, sub.B.T @ lam[sub.lambda_ids])
+            np.add.at(q, sub.lambda_ids, sub.B @ z)
+        return q
+
     def dual_rhs(self) -> np.ndarray:
         """Compute ``d = B K⁺ f − c`` using the per-subdomain factorizations."""
         d = -np.array(self.problem.c, dtype=float, copy=True)
@@ -363,6 +391,54 @@ class DualOperatorBase(abc.ABC):
             a = alpha[offsets[sub.index] : offsets[sub.index + 1]]
             out.append(u + sub.kernel @ a)
         return out
+
+    # ------------------------------------------------------------------ #
+    # Resident-storage accounting and tiering (repro.memory)              #
+    # ------------------------------------------------------------------ #
+    def storage_nbytes(self) -> dict[str, int]:
+        """Byte-accurate resident storage, split by kind.
+
+        ``factor`` counts the per-subdomain numeric factors (values +
+        supernodal panels + any matrix retained for refinement);
+        ``pack`` the assembled/packed dense dual-operator blocks (the 3-D
+        batched packs, ``local_F`` dicts, device-resident ``F̃ᵢ``); and
+        ``arena`` the padded apply-scratch buffers the batched engine keeps
+        warm.  The session's :class:`~repro.memory.ledger.FactorLedger`
+        records these per cache entry.
+        """
+        factor = sum(s.storage_nbytes() for s in self._cpu_solvers.values())
+        pack = self._extra_pack_nbytes()
+        arena = 0
+        if self._batch_engine is not None:
+            for batch in self._batch_engine.clusters.values():
+                if batch.dense is not None:
+                    pack += int(batch.dense.blocks.nbytes)
+                    arena += int(batch.dense._p_pad.nbytes)
+        return {"factor": int(factor), "pack": int(pack), "arena": int(arena)}
+
+    def _extra_pack_nbytes(self) -> int:
+        """Backend hook: packed storage outside the batched engine."""
+        return 0
+
+    def demote_storage(self) -> None:
+        """Halve the resident storage of a cold cache entry (fp64 → fp32).
+
+        Called by the session's tiering only on entries it marks stale in
+        the same step: the demoted factors are never read by a solve — the
+        next touch re-runs the numeric preprocessing, which rebuilds every
+        factor and pack at the spec's own precision.  The batched dense
+        packs are dropped outright (re-preprocessing recreates them), so a
+        demoted entry keeps only its structure and half-size factors warm.
+        """
+        for solver in self._cpu_solvers.values():
+            solver.demote_storage()
+        if self._batch_engine is not None:
+            for batch in self._batch_engine.clusters.values():
+                batch.dense = None
+        self._demote_pack_storage(np.dtype(np.float32))
+
+    def _demote_pack_storage(self, dtype: np.dtype) -> None:
+        """Backend hook: demote packed storage outside the batched engine."""
 
     # ------------------------------------------------------------------ #
     # Misc                                                                #

@@ -157,10 +157,14 @@ class BatchedDenseApply:
     GEMVs issued from Python.
     """
 
-    def __init__(self, index_map: FlatIndexMap) -> None:
+    def __init__(self, index_map: FlatIndexMap, dtype=np.float64) -> None:
         self.map = index_map
         m = index_map.max_size
-        self.blocks = np.zeros((index_map.n_items, m, m))
+        #: Storage dtype of the packed blocks (fp32 under a demoting
+        #: precision policy).  The dual vectors and every result stay fp64:
+        #: ``np.matmul`` promotes the mixed product, so half-size packs
+        #: change only the storage, not the interface.
+        self.blocks = np.zeros((index_map.n_items, m, m), dtype=dtype)
         self._p_pad = np.zeros((index_map.n_items, m, 1))
         #: Bumped on every block refresh; the process-backend apply sharding
         #: re-uploads the pack to its shared arena only when this changes.
@@ -246,6 +250,8 @@ class ClusterBatch:
     aux_map: FlatIndexMap | None = None
     #: Precomputed per-subdomain simulated-cost arrays, keyed by phase.
     cost_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Storage dtype of dense packs created by :meth:`require_dense`.
+    dense_dtype: np.dtype = field(default_factory=lambda: np.dtype(np.float64))
 
     @property
     def n_subdomains(self) -> int:
@@ -263,7 +269,7 @@ class ClusterBatch:
     def require_dense(self) -> BatchedDenseApply:
         """The packed dense blocks, creating the pack on first use."""
         if self.dense is None:
-            self.dense = BatchedDenseApply(self.dual_map)
+            self.dense = BatchedDenseApply(self.dual_map, dtype=self.dense_dtype)
         return self.dense
 
 
@@ -277,9 +283,12 @@ class SubdomainBatchEngine:
     structures.
     """
 
-    def __init__(self, problem, machine, subdomain_indices=None) -> None:
+    def __init__(
+        self, problem, machine, subdomain_indices=None, dense_dtype=np.float64
+    ) -> None:
         self.problem = problem
         self.clusters: dict[int, ClusterBatch] = {}
+        dense_dtype = np.dtype(dense_dtype)
         #: Optional restriction to a subset of subdomains (a shard of the
         #: :class:`repro.runtime.shard.ShardPlan`): the per-cluster batches
         #: then cover only the selected subdomains, so shard-local engines
@@ -296,6 +305,7 @@ class SubdomainBatchEngine:
                 cluster_id=cluster.cluster_id,
                 subdomain_indices=[s.index for s in subs],
                 dual_map=FlatIndexMap([s.lambda_ids for s in subs]),
+                dense_dtype=dense_dtype,
             )
         #: Scatter/gather over *all* subdomains (used by ``dual_rhs``); the
         #: flat arrays come from the gluing data's cached maps.

@@ -17,6 +17,7 @@ from repro.cluster.topology import Machine
 from repro.feti.config import DualOperatorApproach
 from repro.feti.operators.base import DualOperatorBase
 from repro.feti.problem import FetiProblem
+from repro.memory.precision import demote_array
 from repro.sparse.costmodel import CpuLibrary
 from repro.sparse.solvers import CholmodLikeSolver, PardisoLikeSolver
 
@@ -35,6 +36,7 @@ class ExplicitCpuDualOperator(DualOperatorBase):
         blocked: bool = True,
         pattern_cache=None,
         executor=None,
+        precision="fp64",
     ) -> None:
         super().__init__(
             problem,
@@ -43,6 +45,7 @@ class ExplicitCpuDualOperator(DualOperatorBase):
             blocked=blocked,
             pattern_cache=pattern_cache,
             executor=executor,
+            precision=precision,
         )
         self.library = library
         self.approach = (
@@ -54,10 +57,15 @@ class ExplicitCpuDualOperator(DualOperatorBase):
             PardisoLikeSolver if library is CpuLibrary.MKL_PARDISO else CholmodLikeSolver
         )
         self._cpu_solvers = {
-            s.index: solver_cls(blocked=blocked, pattern_cache=self.pattern_cache)
+            s.index: solver_cls(
+                blocked=blocked,
+                pattern_cache=self.pattern_cache,
+                precision=self.precision,
+            )
             for s in problem.subdomains
         }
-        #: The assembled dense local dual operators, filled by preprocess().
+        #: The assembled dense local dual operators, filled by preprocess()
+        #: (stored at the precision policy's dtype; the applies promote).
         self.local_F: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
@@ -92,7 +100,9 @@ class ExplicitCpuDualOperator(DualOperatorBase):
             clocks = self.new_thread_clocks(cluster)
             for i, sub in enumerate(subs):
                 solver = self._cpu_solvers[sub.index]
-                self.local_F[sub.index] = round_[sub.index].local_F
+                self.local_F[sub.index] = demote_array(
+                    round_[sub.index].local_F, self.precision.storage_dtype
+                )
                 rhs_fill = round_[sub.index].rhs_fill
                 cost = cluster.cpu.schur_complement(
                     solver.factor_nnz,
@@ -168,6 +178,14 @@ class ExplicitCpuDualOperator(DualOperatorBase):
                 breakdown["gemv"] += float(costs.sum())
             cluster_times.append(clocks.elapsed)
         return q, self._merge_cluster_times(cluster_times), breakdown
+
+    def _extra_pack_nbytes(self) -> int:
+        return sum(int(F.nbytes) for F in self.local_F.values())
+
+    def _demote_pack_storage(self, dtype: np.dtype) -> None:
+        self.local_F = {
+            index: demote_array(F, dtype) for index, F in self.local_F.items()
+        }
 
     def _apply_looped(
         self, lam: np.ndarray

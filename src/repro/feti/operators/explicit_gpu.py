@@ -102,6 +102,7 @@ class ExplicitGpuDualOperator(DualOperatorBase):
         blocked: bool = True,
         pattern_cache=None,
         executor=None,
+        precision="fp64",
     ) -> None:
         super().__init__(
             problem,
@@ -111,6 +112,7 @@ class ExplicitGpuDualOperator(DualOperatorBase):
             blocked=blocked,
             pattern_cache=pattern_cache,
             executor=executor,
+            precision=precision,
         )
         if approach not in (
             DualOperatorApproach.EXPLICIT_GPU_LEGACY,
@@ -119,11 +121,46 @@ class ExplicitGpuDualOperator(DualOperatorBase):
             raise ValueError(f"not an explicit GPU approach: {approach}")
         self.approach = approach
         self._cpu_solvers = {
-            s.index: CholmodLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            s.index: CholmodLikeSolver(
+                blocked=blocked,
+                pattern_cache=self.pattern_cache,
+                precision=self.precision,
+            )
             for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
         self._cluster_state: dict[int, _ClusterState] = {}
+
+    # ------------------------------------------------------------------ #
+    # Resident storage (repro.memory)                                     #
+    # ------------------------------------------------------------------ #
+    def _extra_pack_nbytes(self) -> int:
+        total = 0
+        for state in self._state.values():
+            if state.device_F is not None:
+                total += int(state.device_F.array.nbytes)
+            if state.device_factor is not None:
+                m = state.device_factor.matrix
+                total += int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+        return total
+
+    def _demote_pack_storage(self, dtype: np.dtype) -> None:
+        # Safe while the entry is stale: _ensure_pack_dtype() restores the
+        # policy's storage dtype before the next assembly writes into it,
+        # and the device factor values are re-uploaded wholesale.
+        for state in self._state.values():
+            if state.device_F is not None and state.device_F.array.dtype != dtype:
+                state.device_F.array = state.device_F.array.astype(dtype)
+            m = state.device_factor
+            if m is not None and m.matrix.dtype != dtype:
+                m.matrix = m.matrix.astype(dtype)
+                m._prepared_tri = None
+
+    def _ensure_pack_dtype(self, state: _GpuState) -> None:
+        """Restore a demoted ``F̃ᵢ`` buffer to the policy's storage dtype."""
+        want = self.precision.storage_dtype
+        if state.device_F is not None and state.device_F.array.dtype != want:
+            state.device_F.array = np.zeros(state.device_F.array.shape, dtype=want)
 
     # ------------------------------------------------------------------ #
     # Preparation                                                         #
@@ -192,12 +229,15 @@ class ExplicitGpuDualOperator(DualOperatorBase):
                     clocks.advance(i, device.cost_model.submission_overhead_cpu)
                     breakdown["analysis"] += op.duration
 
-                # Persistent F̃ᵢ and dual vectors.
-                f_bytes = 8 * sub.n_lambda * sub.n_lambda
+                # Persistent F̃ᵢ and dual vectors.  The F̃ᵢ buffer is the
+                # dominant persistent allocation and follows the precision
+                # policy's storage dtype (half-size under fp32 storage).
+                f_dtype = self.precision.storage_dtype
+                f_bytes = f_dtype.itemsize * sub.n_lambda * sub.n_lambda
                 if cfg.apply_symmetric:
                     f_bytes //= 2
                 state.device_F = DeviceDenseMatrix(
-                    array=np.zeros((sub.n_lambda, sub.n_lambda)),
+                    array=np.zeros((sub.n_lambda, sub.n_lambda), dtype=f_dtype),
                     order=_matrix_order(cfg.rhs_order),
                     symmetric_triangle=cfg.apply_symmetric,
                     allocation=device.memory.allocate(f_bytes, f"F[{sub.index}]"),
@@ -296,6 +336,7 @@ class ExplicitGpuDualOperator(DualOperatorBase):
                 stream = cluster.stream_for(i)
                 state = self._state[sub.index]
                 solver = self._cpu_solvers[sub.index]
+                self._ensure_pack_dtype(state)
 
                 # CPU cost: numeric factorization + factor extraction.
                 fact_cost = cluster.cpu.numeric_factorization(

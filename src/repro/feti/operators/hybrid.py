@@ -42,6 +42,7 @@ class HybridDualOperator(ExplicitGpuDualOperator):
         blocked: bool = True,
         pattern_cache=None,
         executor=None,
+        precision="fp64",
     ) -> None:
         # Bypass the ExplicitGpuDualOperator constructor: the hybrid approach
         # owns PARDISO-like CPU solvers and never uploads factors.
@@ -54,10 +55,15 @@ class HybridDualOperator(ExplicitGpuDualOperator):
             blocked=blocked,
             pattern_cache=pattern_cache,
             executor=executor,
+            precision=precision,
         )
         self.approach = DualOperatorApproach.EXPLICIT_HYBRID
         self._cpu_solvers = {
-            s.index: PardisoLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            s.index: PardisoLikeSolver(
+                blocked=blocked,
+                pattern_cache=self.pattern_cache,
+                precision=self.precision,
+            )
             for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
@@ -82,11 +88,12 @@ class HybridDualOperator(ExplicitGpuDualOperator):
                 breakdown["symbolic"] += cost
 
                 state = self._state[sub.index]
-                f_bytes = 8 * sub.n_lambda * sub.n_lambda
+                f_dtype = self.precision.storage_dtype
+                f_bytes = f_dtype.itemsize * sub.n_lambda * sub.n_lambda
                 if cfg.apply_symmetric:
                     f_bytes //= 2
                 state.device_F = DeviceDenseMatrix(
-                    array=np.zeros((sub.n_lambda, sub.n_lambda)),
+                    array=np.zeros((sub.n_lambda, sub.n_lambda), dtype=f_dtype),
                     order=_matrix_order(cfg.rhs_order),
                     symmetric_triangle=cfg.apply_symmetric,
                     allocation=device.memory.allocate(f_bytes, f"F[{sub.index}]"),
@@ -123,6 +130,7 @@ class HybridDualOperator(ExplicitGpuDualOperator):
                 stream = cluster.stream_for(i)
                 solver = self._cpu_solvers[sub.index]
                 state = self._state[sub.index]
+                self._ensure_pack_dtype(state)
                 F = round_[sub.index].local_F
                 cost = cluster.cpu.schur_complement(
                     solver.factor_nnz,

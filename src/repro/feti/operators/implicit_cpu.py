@@ -35,6 +35,7 @@ class ImplicitCpuDualOperator(DualOperatorBase):
         blocked: bool = True,
         pattern_cache=None,
         executor=None,
+        precision="fp64",
     ) -> None:
         super().__init__(
             problem,
@@ -43,6 +44,7 @@ class ImplicitCpuDualOperator(DualOperatorBase):
             blocked=blocked,
             pattern_cache=pattern_cache,
             executor=executor,
+            precision=precision,
         )
         self.library = library
         self.approach = (
@@ -54,7 +56,11 @@ class ImplicitCpuDualOperator(DualOperatorBase):
             PardisoLikeSolver if library is CpuLibrary.MKL_PARDISO else CholmodLikeSolver
         )
         self._cpu_solvers = {
-            s.index: solver_cls(blocked=blocked, pattern_cache=self.pattern_cache)
+            s.index: solver_cls(
+                blocked=blocked,
+                pattern_cache=self.pattern_cache,
+                precision=self.precision,
+            )
             for s in problem.subdomains
         }
 

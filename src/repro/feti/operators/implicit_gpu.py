@@ -51,6 +51,7 @@ class ImplicitGpuDualOperator(DualOperatorBase):
         blocked: bool = True,
         pattern_cache=None,
         executor=None,
+        precision="fp64",
     ) -> None:
         super().__init__(
             problem,
@@ -59,6 +60,7 @@ class ImplicitGpuDualOperator(DualOperatorBase):
             blocked=blocked,
             pattern_cache=pattern_cache,
             executor=executor,
+            precision=precision,
         )
         if approach not in (
             DualOperatorApproach.IMPLICIT_GPU_LEGACY,
@@ -67,10 +69,33 @@ class ImplicitGpuDualOperator(DualOperatorBase):
             raise ValueError(f"not an implicit GPU approach: {approach}")
         self.approach = approach
         self._cpu_solvers = {
-            s.index: CholmodLikeSolver(blocked=blocked, pattern_cache=self.pattern_cache)
+            s.index: CholmodLikeSolver(
+                blocked=blocked,
+                pattern_cache=self.pattern_cache,
+                precision=self.precision,
+            )
             for s in problem.subdomains
         }
         self._state = {s.index: _GpuState() for s in problem.subdomains}
+
+    def _extra_pack_nbytes(self) -> int:
+        # The device-resident factor copies (re-uploaded every preprocess)
+        # follow the precision policy: their values mirror the CPU factors.
+        total = 0
+        for state in self._state.values():
+            if state.device_factor is not None:
+                m = state.device_factor.matrix
+                total += int(m.data.nbytes + m.indices.nbytes + m.indptr.nbytes)
+        return total
+
+    def _demote_pack_storage(self, dtype: np.dtype) -> None:
+        # Safe while the entry is stale: the next preprocess replaces the
+        # device matrix wholesale via update_sparse_values().
+        for state in self._state.values():
+            m = state.device_factor
+            if m is not None and m.matrix.dtype != dtype:
+                m.matrix = m.matrix.astype(dtype)
+                m._prepared_tri = None
 
     # ------------------------------------------------------------------ #
     def _prepare_impl(self) -> tuple[float, dict[str, float]]:

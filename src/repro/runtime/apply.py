@@ -88,21 +88,26 @@ def sharded_matvec_multi(
     p_stack: np.ndarray,
     executor: "Executor | None",
 ) -> np.ndarray:
-    """Stacked multi-RHS apply, chunked across thread workers.
+    """Stacked multi-RHS apply, sharded across executor workers.
 
-    The multi-RHS pack is one batched GEMM — already the amortized form —
-    so the process backend runs it in the parent (sharding a single GEMM
-    across processes would re-introduce exactly the IPC the stacking
-    removed); thread workers chunk it like the single-RHS path.
+    Thread workers chunk the batched GEMM like the single-RHS path.  The
+    process backend keeps the pack and the padded multi-RHS input/output
+    in the same :class:`~repro.runtime.shm.SharedArena` residence the
+    single-RHS apply uses — the wide slots are sized for a column capacity
+    and reused across calls, so a coalesced block solve still pickles only
+    slot descriptors and spans per iteration.
     """
     n = dense.map.n_items
     if (
         executor is None
         or executor.workers <= 1
-        or executor.backend != "threads"
+        or executor.backend == "serial"
         or n < min_shard_items()
     ):
         return dense.matvec_multi(p_stack)
+    spans = balanced_spans(n, executor.workers)
+    if executor.backend != "threads":
+        return _process_matvec_multi(dense, p_stack, executor, spans)
     P = dense.map.pad_multi(p_stack)
     Q = np.empty_like(P)
     blocks = dense.blocks
@@ -113,10 +118,7 @@ def sharded_matvec_multi(
 
         return task
 
-    futures = [
-        executor.submit(run(lo, hi))
-        for lo, hi in balanced_spans(n, executor.workers)
-    ]
+    futures = [executor.submit(run(lo, hi)) for lo, hi in spans]
     for future in futures:
         future.result()
     return dense.map.unpad_multi(Q)
@@ -131,7 +133,10 @@ class _ProcessApplyState:
     def __init__(self, dense: "BatchedDenseApply") -> None:
         m = dense.map
         arena = SharedArena()
-        self.blocks_slot = arena.allocate(dense.blocks.shape)
+        # Slots are dtype-aware: a demoting precision policy packs the
+        # blocks as float32, and the workers must compute on the same
+        # representation the parent's serial fallback would.
+        self.blocks_slot = arena.allocate_of(dense.blocks)
         self.p_slot = arena.allocate((m.n_items, m.max_size, 1))
         self.q_slot = arena.allocate((m.n_items, m.max_size, 1))
         arena.create()
@@ -158,7 +163,11 @@ def _process_matvec(
 ) -> np.ndarray:
     m = dense.map
     state: _ProcessApplyState | None = getattr(dense, "_process_state", None)
-    if state is None or state.blocks_slot.shape != dense.blocks.shape:
+    if (
+        state is None
+        or state.blocks_slot.shape != dense.blocks.shape
+        or state.blocks_slot.dtype != dense.blocks.dtype.name
+    ):
         state = _ProcessApplyState(dense)
         dense._process_state = state
     if state.version != dense.version:
@@ -180,3 +189,77 @@ def _process_matvec(
     # unpad fancy-indexes into a fresh array, so nothing returned aliases
     # the arena and the next apply can overwrite the slots freely.
     return m.unpad(Q.reshape(m.n_items, m.max_size))
+
+
+class _ProcessApplyMultiState:
+    """Arena residence of one block pack plus wide multi-RHS slots.
+
+    The padded input/output slots are sized for ``k_cap`` columns and
+    sliced to the call's actual column count — a queue-coalesced block
+    solve whose batch width fluctuates reuses one arena instead of
+    re-creating a segment per width.  The state is rebuilt (with a larger
+    capacity) only when a call exceeds the cap.
+    """
+
+    def __init__(self, dense: "BatchedDenseApply", k_cap: int) -> None:
+        m = dense.map
+        arena = SharedArena()
+        self.blocks_slot = arena.allocate_of(dense.blocks)
+        self.p_slot = arena.allocate((m.n_items, m.max_size, k_cap))
+        self.q_slot = arena.allocate((m.n_items, m.max_size, k_cap))
+        arena.create()
+        self.arena = arena
+        self.k_cap = k_cap
+        self.version = -1  # force the first pack write
+
+
+def _matvec_multi_span(args: tuple) -> bool:
+    """Worker task: one span of the arena-resident batched GEMM."""
+    name, blocks_slot, p_slot, q_slot, k, lo, hi = args
+    buf = attach_cached(name)
+    blocks = slot_view(buf, blocks_slot)
+    P = slot_view(buf, p_slot)[:, :, :k]
+    Q = slot_view(buf, q_slot)[:, :, :k]
+    np.matmul(blocks[lo:hi], P[lo:hi], out=Q[lo:hi])
+    return True
+
+
+def _process_matvec_multi(
+    dense: "BatchedDenseApply",
+    p_stack: np.ndarray,
+    executor: "Executor",
+    spans: list[tuple[int, int]],
+) -> np.ndarray:
+    m = dense.map
+    k = int(p_stack.shape[1])
+    state: _ProcessApplyMultiState | None = getattr(dense, "_process_multi_state", None)
+    if (
+        state is None
+        or state.blocks_slot.shape != dense.blocks.shape
+        or state.blocks_slot.dtype != dense.blocks.dtype.name
+        or k > state.k_cap
+    ):
+        k_cap = max(k, state.k_cap if state is not None else 0, 4)
+        state = _ProcessApplyMultiState(dense, k_cap)
+        dense._process_multi_state = state
+    if state.version != dense.version:
+        state.arena.view(state.blocks_slot)[...] = dense.blocks
+        state.version = dense.version
+    # pad_multi produces a fresh contiguous (n, λ_max, k) block; copying it
+    # into the (strided) wide slot is one memcpy of the *vectors* — the
+    # pack, the bulk payload, stays resident across iterations.
+    state.arena.view(state.p_slot)[:, :, :k] = m.pad_multi(p_stack)
+    name = state.arena.name
+    futures = [
+        executor.submit(
+            _matvec_multi_span,
+            (name, state.blocks_slot, state.p_slot, state.q_slot, k, lo, hi),
+        )
+        for lo, hi in spans
+    ]
+    for future in futures:
+        future.result()
+    Q = state.arena.view(state.q_slot)[:, :, :k]
+    # unpad_multi reshapes the strided view into a fresh array, so nothing
+    # returned aliases the arena.
+    return m.unpad_multi(Q)

@@ -506,11 +506,15 @@ def _adopt_group(
                 values=values_stack[i],
                 _panel_values=computed.panels[i],
             )
-            solver.adopt_factor(factor)
+            # The matrix rides along for refining precision policies, which
+            # keep it for the residual sweeps; adopt ignores it otherwise.
+            solver.adopt_factor(factor, matrix=group.subs[i].K_reg)
     else:
         assert computed.loop_factors is not None
-        for solver, factor in zip(group.solvers, computed.loop_factors):
-            solver.adopt_factor(factor)
+        for sub, solver, factor in zip(
+            group.subs, group.solvers, computed.loop_factors
+        ):
+            solver.adopt_factor(factor, matrix=sub.K_reg)
     for i, sub in enumerate(group.subs):
         out = round_.outputs.setdefault(sub.index, SubdomainPreprocessed())
         if need_schur and computed.schur is not None:

@@ -136,6 +136,10 @@ class SessionPool:
         coarse_solves = 0
         coarse_seconds = 0.0
         hierarchical_projectors = 0
+        resident_bytes = 0
+        tier_demotions = 0
+        tier_evictions = 0
+        tier_refactorizations = 0
         for key, entry in entries:
             stats = entry.session.cache_stats()
             stacked_solves += stats["stacked_solves"]
@@ -144,6 +148,10 @@ class SessionPool:
             coarse_solves += stats["coarse_solves"]
             coarse_seconds += stats["coarse_seconds"]
             hierarchical_projectors += stats["hierarchical_projectors"]
+            resident_bytes += stats["resident_bytes"]
+            tier_demotions += stats["demotions"]
+            tier_evictions += stats["evictions"]
+            tier_refactorizations += stats["refactorizations"]
             patterns.append(
                 {
                     "pattern": list(key[:2]) + [list(key[2]), *key[3:6], list(key[6])],
@@ -156,6 +164,10 @@ class SessionPool:
                     "stacked_columns": stats["stacked_columns"],
                     "coarse_applies": stats["coarse_applies"],
                     "coarse_seconds": stats["coarse_seconds"],
+                    "resident_bytes": stats["resident_bytes"],
+                    "demotions": stats["demotions"],
+                    "tier_evictions": stats["evictions"],
+                    "refactorizations": stats["refactorizations"],
                 }
             )
         return {
@@ -168,5 +180,9 @@ class SessionPool:
             "coarse_solves": coarse_solves,
             "coarse_seconds": coarse_seconds,
             "hierarchical_projectors": hierarchical_projectors,
+            "resident_bytes": resident_bytes,
+            "demotions": tier_demotions,
+            "tier_evictions": tier_evictions,
+            "refactorizations": tier_refactorizations,
             "patterns": patterns,
         }

@@ -17,6 +17,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.memory.precision import (
+    PrecisionPolicy,
+    demote_factor,
+    factor_nbytes,
+    resolve_precision,
+)
 from repro.sparse.cache import PatternCache, global_pattern_cache
 from repro.sparse.costmodel import CpuLibrary
 from repro.sparse.numeric import CholeskyFactor, numeric_cholesky
@@ -61,6 +67,7 @@ class SparseSolverBase:
         ordering: OrderingMethod | str = OrderingMethod.RCM,
         blocked: bool = True,
         pattern_cache: PatternCache | bool | None = None,
+        precision: str | PrecisionPolicy = "fp64",
     ) -> None:
         """Create a solver facade.
 
@@ -79,11 +86,18 @@ class SparseSolverBase:
             ``True`` forces the process-global cache, ``False`` disables
             caching, and a :class:`PatternCache` instance scopes sharing
             explicitly.
+        precision:
+            Factor storage policy (see :mod:`repro.memory.precision`).  The
+            factorization always runs in fp64; ``"fp32"`` demotes the stored
+            factor to single precision, and ``"fp32_ir"`` additionally
+            retains the matrix and refines every solve back to fp64-level
+            residuals.
         """
         self.ordering = (
             OrderingMethod(ordering) if isinstance(ordering, str) else ordering
         )
         self.blocked = blocked
+        self.precision = resolve_precision(precision)
         if pattern_cache is None:
             pattern_cache = blocked
         if pattern_cache is True:
@@ -93,6 +107,7 @@ class SparseSolverBase:
         )
         self._symbolic: SymbolicFactor | None = None
         self._factor: CholeskyFactor | None = None
+        self._matrix: sp.csr_matrix | None = None
 
     # ------------------------------------------------------------------ #
     # Phases                                                              #
@@ -117,25 +132,51 @@ class SparseSolverBase:
         return self._symbolic
 
     def factorize(self, K: sp.spmatrix) -> CholeskyFactor:
-        """Numeric factorization (re-run whenever the values change)."""
+        """Numeric factorization (re-run whenever the values change).
+
+        The factorization itself always runs in fp64; the precision policy
+        then demotes the *stored* factor (and, when refining, retains the
+        matrix for residual computation in the refinement sweeps).
+        """
         if self._symbolic is None:
             self.analyze(K)
         assert self._symbolic is not None
         self._factor = numeric_cholesky(K, self._symbolic, blocked=self.blocked)
+        self._install_precision(K)
         return self._factor
 
-    def adopt_factor(self, factor: CholeskyFactor) -> CholeskyFactor:
+    def adopt_factor(
+        self, factor: CholeskyFactor, matrix: sp.spmatrix | None = None
+    ) -> CholeskyFactor:
         """Install a numeric factor computed elsewhere (the sharded runtime).
 
         The factor's values may be views into shared memory written by a
         worker process; its symbolic analysis must describe the same
         pattern this solver analysed (the runtime guarantees it by
-        re-deriving the analysis deterministically per pattern).
+        re-deriving the analysis deterministically per pattern).  ``matrix``
+        is the factorized matrix — required by refining precision policies,
+        which keep it for residual computation.
         """
         if self._symbolic is None:
             self._symbolic = factor.symbolic
         self._factor = factor
-        return factor
+        self._install_precision(matrix)
+        return self._factor
+
+    def _install_precision(self, matrix: sp.spmatrix | None) -> None:
+        """Demote the stored factor / retain the matrix per the policy."""
+        policy = self.precision
+        if policy.refine:
+            if matrix is not None:
+                self._matrix = sp.csr_matrix(matrix)
+            elif self._matrix is None:
+                raise ValueError(
+                    f"precision {policy.name!r} refines solves and needs the "
+                    "factorized matrix; pass it to adopt_factor(..., matrix=K)"
+                )
+        if policy.demotes:
+            assert self._factor is not None
+            self._factor = demote_factor(self._factor, policy.storage_dtype)
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
@@ -166,6 +207,28 @@ class SparseSolverBase:
             raise RuntimeError("factorize() has not been called")
         return self._factor
 
+    def storage_nbytes(self) -> int:
+        """Resident bytes of the numeric factor (plus any retained matrix)."""
+        nbytes = factor_nbytes(self._factor)
+        if self._matrix is not None:
+            nbytes += int(
+                self._matrix.data.nbytes
+                + self._matrix.indices.nbytes
+                + self._matrix.indptr.nbytes
+            )
+        return nbytes
+
+    def demote_storage(self) -> None:
+        """Convert the resident factor to fp32 (session tiering).
+
+        Used on *cold* cache entries only: the session marks the entry
+        stale at the same time, so the demoted factor is never read by a
+        solve — it just halves the entry's resident bytes until the next
+        touch re-factorizes it in the spec's own precision.
+        """
+        if self._factor is not None:
+            self._factor = demote_factor(self._factor, np.dtype(np.float32))
+
     def extract_factor(self) -> CholeskyFactor:
         """Return the numeric factor (for shipping to the GPU).
 
@@ -183,29 +246,59 @@ class SparseSolverBase:
     # ------------------------------------------------------------------ #
     # Solves                                                              #
     # ------------------------------------------------------------------ #
-    def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve ``K x = b`` for one right-hand side (original ordering)."""
+    def _triangular_solve(self, b: np.ndarray) -> np.ndarray:
+        """One forward+backward substitution pass (original ordering)."""
         factor = self._require_factor()
         perm = factor.symbolic.perm
-        y = sparse_trsv_lower(
-            factor, np.asarray(b, dtype=float)[perm], blocked=self.blocked
-        )
-        xp = sparse_trsv_upper(factor, y, blocked=self.blocked)
+        if b.ndim == 1:
+            y = sparse_trsv_lower(factor, b[perm], blocked=self.blocked)
+            xp = sparse_trsv_upper(factor, y, blocked=self.blocked)
+        else:
+            y = sparse_trsm_lower(factor, b[perm, :], blocked=self.blocked)
+            xp = sparse_trsm_upper(factor, y, blocked=self.blocked)
         x = np.empty_like(xp)
         x[perm] = xp
         return x
 
-    def solve_many(self, B: np.ndarray) -> np.ndarray:
+    def solve(self, b: np.ndarray, refine: bool | None = None) -> np.ndarray:
+        """Solve ``K x = b`` for one right-hand side (original ordering).
+
+        Under a refining precision policy the stored (fp32) factor acts as
+        the inner solver of a fixed-point iteration on the retained fp64
+        matrix: ``x += K⁻̃¹ (b − K x)`` until the residual reaches fp64
+        level, so half-size factor storage still yields fp64-accurate
+        solves.  ``refine`` overrides the policy (e.g. the PCPG loop's
+        cheap operator applies pass ``False``).
+        """
+        x = self._triangular_solve(np.asarray(b, dtype=float))
+        if refine is None:
+            refine = self.precision.refine
+        if refine and self._matrix is not None:
+            x = self._refine(np.asarray(b, dtype=float), x)
+        return x
+
+    def solve_many(self, B: np.ndarray, refine: bool | None = None) -> np.ndarray:
         """Solve ``K X = B`` for a dense multi-column right-hand side."""
-        factor = self._require_factor()
-        perm = factor.symbolic.perm
-        Y = sparse_trsm_lower(
-            factor, np.asarray(B, dtype=float)[perm, :], blocked=self.blocked
-        )
-        Xp = sparse_trsm_upper(factor, Y, blocked=self.blocked)
-        X = np.empty_like(Xp)
-        X[perm, :] = Xp
+        X = self._triangular_solve(np.asarray(B, dtype=float))
+        if refine is None:
+            refine = self.precision.refine
+        if refine and self._matrix is not None:
+            X = self._refine(np.asarray(B, dtype=float), X)
         return X
+
+    def _refine(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Iterative refinement sweeps with the stored factor as inner solver."""
+        K = self._matrix
+        assert K is not None
+        norm_b = float(np.max(np.abs(b))) if b.size else 0.0
+        if norm_b == 0.0:
+            return x
+        for _ in range(max(1, self.precision.refine_steps)):
+            r = b - K @ x
+            if float(np.max(np.abs(r))) <= 1e-14 * norm_b:
+                break
+            x = x + self._triangular_solve(r)
+        return x
 
     # ------------------------------------------------------------------ #
     # Explicit dual operator on the CPU                                   #

@@ -33,6 +33,22 @@ def test_unknown_approach_lists_valid_values():
         SolverSpec(approach="tpu")
 
 
+def test_precision_defaults_validates_and_round_trips():
+    assert SolverSpec().precision == "fp64"
+    spec = SolverSpec(approach="expl mkl", precision="fp32_ir")
+    assert SolverSpec.from_dict(spec.to_dict()) == spec
+    assert spec.to_dict()["precision"] == "fp32_ir"
+    with pytest.raises(SpecError, match="unknown precision"):
+        SolverSpec(precision="fp16")
+
+
+def test_precision_participates_in_spec_identity():
+    base = SolverSpec(approach="expl mkl")
+    fp32 = SolverSpec(approach="expl mkl", precision="fp32")
+    assert base != fp32
+    assert len({base, fp32, SolverSpec(approach="expl mkl")}) == 2
+
+
 def test_assembly_rejected_on_approaches_that_ignore_it():
     with pytest.raises(SpecError, match="never assembles the dual"):
         SolverSpec(approach="impl mkl", assembly=AssemblyConfig())

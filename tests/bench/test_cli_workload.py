@@ -53,6 +53,23 @@ def test_run_workload_accepts_approach_overrides(tmp_path):
     assert [p["approach"] for p in record["points"]] == ["impl mkl", "expl mkl"]
 
 
+def test_run_precision_override_stamps_every_point(tmp_path):
+    assert (
+        main(["run", "smoke_heat_2d", "--precision", "fp32", "-o", str(tmp_path)])
+        == 0
+    )
+    record = load_record(tmp_path / "BENCH_smoke_heat_2d.json")
+    assert record["points"], "the override must not drop grid points"
+    assert all(p["precision"] == "fp32" for p in record["points"])
+    assert all(p["key"].endswith("/fp32") for p in record["points"])
+
+
+def test_list_json_shows_the_precision_axis(capsys):
+    assert main(["list", "precision_phase", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["axes"]["precision"] == ["fp64", "fp32", "fp32_ir"]
+
+
 def test_run_workload_rejects_unknown_sources_and_combinations(tmp_path, capsys):
     assert main(["run", "--workload", "no-such-preset", "-o", str(tmp_path)]) == 2
     assert "registered presets" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Tests of the ``precision_phase`` scenario and the bench precision axis."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api.workload import Workload
+from repro.bench import registry
+from repro.bench.precision_phase import PrecisionPhaseScenario
+from repro.bench.runner import InvariantViolation, run_scenario
+from repro.feti.config import DualOperatorApproach
+
+
+def _shrunken(**overrides):
+    """A fast copy of the registered scenario (one approach, tiny mesh)."""
+    defaults = dict(
+        base=Workload("heat", 2, (2, 2), 4),
+        approaches=(DualOperatorApproach("expl mkl"),),
+    )
+    defaults.update(overrides)
+    return dataclasses.replace(
+        registry.get("precision_phase"), name="precision_phase_test", **defaults
+    )
+
+
+@pytest.fixture(scope="module")
+def record():
+    return _shrunken().run_record()
+
+
+def test_record_shape_and_point_set(record):
+    assert record["benchmark"] == "precision_phase_test"
+    keys = [p["key"] for p in record["points"]]
+    assert keys == ["expl mkl/fp64", "expl mkl/fp32", "expl mkl/fp32_ir"]
+    for point in record["points"]:
+        assert point["invariants"]["n_lambda"] > 0
+        assert set(point["simulated"]) == {
+            "factor_bytes", "pack_bytes", "arena_bytes", "resident_bytes",
+        }
+        assert set(point["wall"]) == {
+            "solve_seconds", "true_residual", "iterations", "converged",
+        }
+        assert point["wall"]["converged"] == 1.0
+    block = record["precision_phase"]
+    assert block["precisions"] == ["fp64", "fp32", "fp32_ir"]
+    assert block["min_factor_bytes_reduction"] == pytest.approx(1.7)
+
+
+def test_fp32_halves_factor_bytes_exactly(record):
+    by_key = {p["key"]: p for p in record["points"]}
+    fp64 = by_key["expl mkl/fp64"]["simulated"]["factor_bytes"]
+    fp32 = by_key["expl mkl/fp32"]["simulated"]["factor_bytes"]
+    assert fp64 == 2 * fp32
+    assert record["derived"]["factor_bytes_reduction[expl mkl]"] == pytest.approx(2.0)
+    assert record["derived"]["resident_bytes_reduction[expl mkl]"] > 1.7
+
+
+def test_ir_recovers_fp64_level_residuals(record):
+    by_key = {p["key"]: p for p in record["points"]}
+    fp64_res = by_key["expl mkl/fp64"]["wall"]["true_residual"]
+    ir_res = by_key["expl mkl/fp32_ir"]["wall"]["true_residual"]
+    assert ir_res <= max(10.0 * fp64_res, 1e-11)
+
+
+def test_residual_gate_flags_a_refinement_regression():
+    scenario = _shrunken()
+    residuals = {("expl mkl", "fp64"): 1e-10, ("expl mkl", "fp32_ir"): 1e-6}
+    storage = {
+        ("expl mkl", "fp64"): {"factor": 200},
+        ("expl mkl", "fp32"): {"factor": 100},
+    }
+    with pytest.raises(InvariantViolation, match="refinement"):
+        scenario._check_invariants(residuals, storage)
+
+
+def test_bytes_gate_flags_a_storage_policy_regression():
+    scenario = _shrunken()
+    residuals = {("expl mkl", "fp64"): 1e-10, ("expl mkl", "fp32_ir"): 1e-10}
+    storage = {
+        ("expl mkl", "fp64"): {"factor": 200},
+        ("expl mkl", "fp32"): {"factor": 200},  # demotion stopped working
+    }
+    with pytest.raises(InvariantViolation, match="factor bytes"):
+        scenario._check_invariants(residuals, storage)
+
+
+def test_run_scenario_delegates_to_run_record():
+    result = run_scenario(_shrunken())
+    assert result.record["benchmark"] == "precision_phase_test"
+
+
+def test_registered_scenario_is_quick_gated():
+    scenario = registry.get("precision_phase")
+    assert isinstance(scenario, PrecisionPhaseScenario)
+    assert {"quick", "memory", "precision"} <= scenario.tags
+    assert scenario.precision == ("fp64", "fp32", "fp32_ir")
+    assert scenario.axes()["precision"] == ["fp64", "fp32", "fp32_ir"]
+    assert scenario.n_points() == 9

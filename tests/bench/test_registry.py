@@ -91,10 +91,11 @@ def test_scenario_grid_axes_and_point_count():
     grid = scenario.grid()
     assert sorted(grid) == [
         "approach", "batched", "blocked", "cells", "coarse", "execution",
-        "subdomains",
+        "precision", "subdomains",
     ]
     assert grid["subdomains"] == [(2, 2), (4, 4)]
     assert grid["execution"] == [None]
+    assert grid["precision"] == ["fp64"]
     assert scenario.n_points() == 4
 
     sizes = registry.get("heat_2d_sizes")

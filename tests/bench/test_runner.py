@@ -98,6 +98,18 @@ def test_point_key_execution_suffix_preserves_historical_keys():
     assert sharded == "8x8/c8/expl mkl/batched/processes4"
 
 
+def test_point_key_precision_suffix_preserves_historical_keys():
+    base = point_key((4, 4), 7, DualOperatorApproach.EXPLICIT_MKL, True)
+    fp64 = point_key(
+        (4, 4), 7, DualOperatorApproach.EXPLICIT_MKL, True, precision="fp64"
+    )
+    assert fp64 == base  # the default policy leaves old keys unchanged
+    fp32 = point_key(
+        (4, 4), 7, DualOperatorApproach.EXPLICIT_MKL, True, precision="fp32_ir"
+    )
+    assert fp32 == base + "/fp32_ir"
+
+
 def test_measure_point_is_cached_and_deterministic():
     scenario = registry.get("smoke_heat_2d")
     spec = scenario.spec_with()

@@ -106,6 +106,60 @@ def test_arena_peak_tracking():
     assert arena.peak_bytes == 3072
 
 
+def test_pool_peak_bytes_persists_across_release_and_reuse():
+    """The high-water mark survives full drains and later smaller loads."""
+    pool = MemoryPool(10_000)
+    a = pool.allocate(4096)
+    b = pool.allocate(2048)
+    high_water = pool.used_bytes
+    a.release()
+    b.release()
+    assert pool.used_bytes == 0
+    c = pool.allocate(256)
+    assert pool.used_bytes == 256
+    assert pool.peak_bytes == high_water  # not reset by the drain
+    assert pool.allocation_count == 3
+    c.release()
+    assert pool.free_bytes == pool.capacity_bytes
+
+
+def test_arena_oversized_request_fails_fast_while_memory_is_held():
+    """A request above the arena capacity must raise immediately — waiting
+    for other threads to release could never satisfy it."""
+    arena = TemporaryArena(1024)
+    held = arena.allocate(512)
+    start = time.monotonic()
+    with pytest.raises(AllocationError, match="exceeds the arena"):
+        arena.allocate(4096, timeout=60.0)
+    assert time.monotonic() - start < 1.0  # no blocking wait happened
+    assert arena.blocking_waits == 0
+    assert arena.allocation_count == 1
+    held.release()
+
+
+def test_arena_counts_each_blocked_allocation():
+    """Every allocation that had to wait bumps the counter once, even when
+    several waiters pile up behind one hog."""
+    arena = TemporaryArena(1024)
+    hog = arena.allocate(1024)
+    done = threading.Barrier(3)
+
+    def worker():
+        arena.allocate(256, timeout=5.0).release()
+        done.wait(timeout=5.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    time.sleep(0.05)
+    hog.release()
+    done.wait(timeout=5.0)
+    for t in threads:
+        t.join(timeout=5.0)
+    assert arena.blocking_waits == 2
+    assert arena.used_bytes == 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     sizes=st.lists(st.integers(min_value=1, max_value=2000), min_size=1, max_size=30)

@@ -1,0 +1,67 @@
+"""Tests of the byte-accurate factor ledger."""
+
+from __future__ import annotations
+
+from repro.api import Session, SolverSpec, Workload
+from repro.memory.ledger import EntryBytes, FactorLedger, measure_solver
+
+W = Workload("heat", 2, (2, 1), 3)
+
+
+def test_entry_bytes_total_and_dict():
+    entry = EntryBytes(factor_bytes=100, pack_bytes=30, arena_bytes=7)
+    assert entry.total == 137
+    assert entry.to_dict() == {
+        "factor_bytes": 100,
+        "pack_bytes": 30,
+        "arena_bytes": 7,
+        "total_bytes": 137,
+    }
+    assert EntryBytes().total == 0
+
+
+def test_ledger_used_peak_semantics():
+    ledger = FactorLedger()
+    ledger.record("a", EntryBytes(factor_bytes=1000))
+    ledger.record("b", EntryBytes(factor_bytes=500, arena_bytes=100))
+    assert ledger.resident_bytes == 1600
+    assert ledger.peak_bytes == 1600
+    assert len(ledger) == 2
+
+    # Re-recording replaces, not accumulates.
+    ledger.record("a", EntryBytes(factor_bytes=400))
+    assert ledger.resident_bytes == 1000
+    assert ledger.peak_bytes == 1600  # peak survives the shrink
+
+    ledger.forget("b")
+    assert ledger.resident_bytes == 400
+    ledger.forget("missing")  # unknown keys are ignored
+    assert ledger.resident_bytes == 400
+    assert ledger.entry("b") is None
+    assert ledger.entries() == {"a": EntryBytes(factor_bytes=400)}
+
+
+def test_measure_solver_matches_the_operator_report_exactly():
+    """The ledger must report real ndarray bytes, not estimates."""
+    with Session(SolverSpec(approach="expl mkl")) as session:
+        session.solve(W)
+        solver = session.solver(W)
+        report = solver.operator.storage_nbytes()
+        entry = measure_solver(solver)
+    assert entry.factor_bytes == report["factor"] > 0
+    assert entry.pack_bytes == report["pack"]
+    assert entry.arena_bytes == report["arena"]
+    assert entry.total == sum(report.values())
+    # The operator itself measures the same as its owning solver.
+    assert measure_solver(solver.operator) == entry
+
+
+def test_fp32_entry_measures_smaller_than_fp64():
+    with Session(SolverSpec(approach="expl mkl")) as fp64:
+        fp64.solve(W)
+        full = measure_solver(fp64.solver(W))
+    with Session(SolverSpec(approach="expl mkl", precision="fp32")) as fp32:
+        fp32.solve(W)
+        half = measure_solver(fp32.solver(W))
+    assert full.factor_bytes == 2 * half.factor_bytes
+    assert half.total < full.total

@@ -1,0 +1,171 @@
+"""Tests of the session's budget-aware factor tiering.
+
+The contract under test: a memory ceiling changes *where bytes live*, never
+*what solves return*.  Demotion marks an entry stale so its next solve
+re-factorizes in the spec's own precision; eviction drops the solver so the
+next touch rebuilds it from the session caches.  Either way the results are
+bitwise identical to an unconstrained session.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.api import Session, SolverSpec, Workload
+from repro.memory.ledger import measure_solver
+
+SPEC = SolverSpec(approach="expl mkl")
+WORKLOADS = [
+    Workload("heat", 2, (2, 1), 3),
+    Workload("heat", 2, (2, 2), 3),
+    Workload("heat", 2, (3, 1), 3),
+]
+
+
+def _entry_total(workload: Workload, spec: SolverSpec = SPEC) -> int:
+    with Session(spec, memory_budget="unlimited") as session:
+        session.solve(workload)
+        return measure_solver(session.solver(workload)).total
+
+
+def _reference_solutions(spec: SolverSpec = SPEC):
+    with Session(spec, memory_budget="unlimited") as session:
+        return {w: session.solve(w) for w in WORKLOADS}
+
+
+def _assert_bitwise_equal(a, b) -> None:
+    assert np.array_equal(a.lam, b.lam)
+    for ua, ub in zip(a.primal, b.primal):
+        assert np.array_equal(ua, ub)
+
+
+def test_unconstrained_session_never_tiers(monkeypatch):
+    monkeypatch.delenv("REPRO_MEMORY_BUDGET", raising=False)
+    with Session(SPEC) as session:
+        for w in WORKLOADS:
+            session.solve(w)
+        stats = session.cache_stats()
+    assert session.memory_budget_bytes is None
+    assert stats["memory_budget_bytes"] is None
+    assert stats["demotions"] == 0
+    assert stats["evictions"] == 0
+    assert stats["refactorizations"] == 0
+    assert stats["resident_bytes"] > 0
+    assert stats["resident_entries"] == len(WORKLOADS)
+
+
+def test_tier_counters_zero_before_any_solve():
+    with Session(SPEC) as session:
+        stats = session.cache_stats()
+    assert stats["resident_bytes"] == 0
+    assert stats["peak_resident_bytes"] == 0
+    assert stats["resident_entries"] == 0
+    assert stats["demoted_entries"] == 0
+
+
+def test_budget_pressure_demotes_then_solves_identically():
+    reference = _reference_solutions()
+    budget = int(1.2 * max(_entry_total(w) for w in WORKLOADS))
+    with Session(SPEC, memory_budget=budget) as session:
+        first = {w: session.solve(w) for w in WORKLOADS}
+        stats_mid = session.cache_stats()
+        # Cold entries were demoted (or evicted once demoted) to fit.
+        assert stats_mid["demotions"] >= 1
+        # Re-solving every workload re-factorizes the affected entries
+        # lazily and still returns bitwise-identical fp64 solutions.
+        second = {w: session.solve(w) for w in WORKLOADS}
+        stats = session.cache_stats()
+    assert session.memory_budget_bytes == budget
+    assert stats["refactorizations"] >= 1
+    for w in WORKLOADS:
+        _assert_bitwise_equal(first[w], reference[w])
+        _assert_bitwise_equal(second[w], reference[w])
+
+
+def test_starvation_budget_evicts_and_rebuilds_lazily():
+    reference = _reference_solutions()
+    budget = int(0.9 * min(_entry_total(w) for w in WORKLOADS))
+    with Session(SPEC, memory_budget=budget) as session:
+        for w in WORKLOADS:
+            _assert_bitwise_equal(session.solve(w), reference[w])
+        stats_mid = session.cache_stats()
+        assert stats_mid["evictions"] >= 1
+        # Only the most recent entry can be resident under this budget.
+        assert stats_mid["resident_entries"] <= 2
+        # A full second pass rebuilds each evicted solver from the session
+        # caches: same results, counted as lazy re-factorizations.
+        for w in WORKLOADS:
+            _assert_bitwise_equal(session.solve(w), reference[w])
+        stats = session.cache_stats()
+    assert stats["refactorizations"] >= 2
+    assert stats["evictions"] > stats_mid["evictions"] - 1
+
+
+def test_fp32_entries_skip_demotion_and_go_straight_to_eviction():
+    spec = SolverSpec(approach="expl mkl", precision="fp32")
+    budget = int(0.9 * min(_entry_total(w, spec) for w in WORKLOADS[:2]))
+    with Session(spec, memory_budget=budget) as session:
+        session.solve(WORKLOADS[0])
+        session.solve(WORKLOADS[1])
+        stats = session.cache_stats()
+    assert stats["demotions"] == 0  # already half-size: nothing to demote
+    assert stats["evictions"] >= 1
+
+
+def test_budget_from_environment_and_explicit_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MEMORY_BUDGET", "64M")
+    with Session(SPEC) as from_env:
+        assert from_env.memory_budget_bytes == 64 * 1024**2
+    with Session(SPEC, memory_budget="unlimited") as unlimited:
+        assert unlimited.memory_budget_bytes is None
+    with Session(SPEC, memory_budget="128K") as explicit:
+        assert explicit.memory_budget_bytes == 128 * 1024
+    monkeypatch.delenv("REPRO_MEMORY_BUDGET")
+    with Session(SPEC) as plain:
+        assert plain.memory_budget_bytes is None
+
+
+def test_hammer_concurrent_solves_under_budget_stay_bitwise_identical():
+    """Satellite: many threads against one budget-constrained session.
+
+    Every thread mixes single solves and (per-column) block solves across
+    all workloads while the tier demotes and evicts under their feet; the
+    returned fp64 solutions must be bitwise identical to an unconstrained
+    session's, and the counters must stay consistent.
+    """
+    reference = _reference_solutions()
+    budget = int(1.2 * max(_entry_total(w) for w in WORKLOADS))
+    errors: list[BaseException] = []
+
+    with Session(SPEC, memory_budget=budget) as session:
+
+        def worker(seed: int) -> None:
+            try:
+                for round_ in range(2):
+                    for w in WORKLOADS:
+                        if (seed + round_) % 2:
+                            solutions = session.solve_many(
+                                w, [None, None], stacked=False
+                            )
+                        else:
+                            solutions = [session.solve(w)]
+                        for solution in solutions:
+                            _assert_bitwise_equal(solution, reference[w])
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+        stats = session.cache_stats()
+
+    assert not errors, errors
+    # Counter consistency: every lazy re-factorization consumed exactly one
+    # earlier demotion or eviction, and the ledger tracks live solvers only.
+    assert stats["refactorizations"] <= stats["demotions"] + stats["evictions"]
+    assert stats["resident_entries"] == stats["solvers"]
+    assert 0 < stats["resident_bytes"] <= stats["peak_resident_bytes"]

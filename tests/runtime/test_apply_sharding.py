@@ -138,3 +138,78 @@ def test_apply_multi_requires_preprocessing():
         operator = session.operator_for(HEAT)
         with pytest.raises(RuntimeError):
             operator.apply_multi(np.zeros((3, 2)))
+
+
+# --------------------------------------------------------------------- #
+# Stacked multi-RHS sharding                                             #
+# --------------------------------------------------------------------- #
+EXPLICIT = ["expl mkl", "expl cholmod", "expl modern", "expl hybrid"]
+
+
+def _applied_multi(approach, execution, block):
+    spec = (
+        SolverSpec(approach=approach, execution=execution)
+        if execution
+        else SolverSpec(approach=approach)
+    )
+    with Session(spec) as session:
+        operator = session.operator_for(HEAT)
+        operator.prepare()
+        operator.preprocess()
+        return operator.apply_multi(block, stacked=True)
+
+
+def _block_for(approach, k, seed=7):
+    with Session(SolverSpec(approach=approach)) as session:
+        n = session.problem(HEAT).n_lambda
+    return np.random.default_rng(seed).standard_normal((n, k))
+
+
+@pytest.mark.parametrize("approach", EXPLICIT)
+def test_threads_sharded_multi_apply_is_bitwise_equal_to_serial(approach, monkeypatch):
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "1")
+    block = _block_for(approach, 3)
+    serial = _applied_multi(approach, None, block)
+    sharded = _applied_multi(approach, "threads:2", block)
+    assert np.array_equal(serial, sharded)
+
+
+@pytest.mark.parametrize("approach", EXPLICIT)
+def test_processes_sharded_multi_apply_within_1e12_of_serial(approach, monkeypatch):
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "1")
+    block = _block_for(approach, 3)
+    serial = _applied_multi(approach, None, block)
+    sharded = _applied_multi(approach, "processes:2", block)
+    denom = max(np.linalg.norm(serial), 1e-300)
+    assert np.linalg.norm(sharded - serial) / denom <= 1e-12
+
+
+def test_processes_multi_apply_reuses_arena_across_widths(monkeypatch):
+    """Fluctuating batch widths slice one wide arena; growth rebuilds it."""
+    monkeypatch.setenv("REPRO_APPLY_MIN_BATCH", "1")
+    approach = "expl mkl"
+    with Session(SolverSpec(approach=approach, execution="processes:2")) as session:
+        operator = session.operator_for(HEAT)
+        operator.prepare()
+        operator.preprocess()
+        n = session.problem(HEAT).n_lambda
+        rng = np.random.default_rng(11)
+        reference = Session(SolverSpec(approach=approach))
+        ref_op = reference.operator_for(HEAT)
+        ref_op.prepare()
+        ref_op.preprocess()
+        states = []
+        for k in (2, 5, 3):  # within cap, beyond cap (rebuild), shrink (reuse)
+            block = rng.standard_normal((n, k))
+            got = operator.apply_multi(block, stacked=True)
+            want = ref_op.apply_multi(block, stacked=True)
+            denom = max(np.linalg.norm(want), 1e-300)
+            assert np.linalg.norm(got - want) / denom <= 1e-12
+            batch = operator.batch_engine.cluster(
+                next(iter(operator.batch_engine.clusters))
+            )
+            states.append(getattr(batch.require_dense(), "_process_multi_state", None))
+        reference.close()
+    assert states[0] is not None
+    assert states[1] is not states[0]  # k=5 exceeded the initial cap of 4
+    assert states[2] is states[1]  # k=3 sliced the grown arena in place
