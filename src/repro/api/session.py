@@ -41,6 +41,7 @@ from repro.feti.solver import FetiSolution, FetiSolver, MultiStepDriver, StepRec
 from repro.memory.ledger import measure_solver
 from repro.memory.precision import resolve_precision
 from repro.memory.tier import FactorTier, parse_budget
+from repro.observe.trace import trace_span
 from repro.runtime.executor import ExecutionSpec, Executor, make_executor
 from repro.sparse.cache import PatternCache
 
@@ -413,17 +414,18 @@ class Session:
         """
         w = self.resolve_workload(workload)
         s = self._resolve_spec(spec)
-        with self.workload_lock(w):
-            solver = self.solver(w, s)
-            with self._cache_lock:
-                self.stats.solves += 1
-                stale = (w, s) in self._stale_solvers
-            solution = solver.solve(reuse_preprocessing=not stale)
-            # Account only after the solve succeeded: if it raises, the
-            # next solve must still see the solver as stale instead of
-            # reusing a factorization of mutated (or demoted) values.
-            self._after_solve((w, s), solver)
-            return solution
+        with trace_span("session.solve", workload=w.describe(), approach=s.approach.value):
+            with self.workload_lock(w):
+                solver = self.solver(w, s)
+                with self._cache_lock:
+                    self.stats.solves += 1
+                    stale = (w, s) in self._stale_solvers
+                solution = solver.solve(reuse_preprocessing=not stale)
+                # Account only after the solve succeeded: if it raises, the
+                # next solve must still see the solver as stale instead of
+                # reusing a factorization of mutated (or demoted) values.
+                self._after_solve((w, s), solver)
+                return solution
 
     def solve_many(
         self,
@@ -453,18 +455,24 @@ class Session:
         """
         w = self.resolve_workload(workload)
         s = self._resolve_spec(spec)
-        with self.workload_lock(w):
-            solver = self.solver(w, s)
-            with self._cache_lock:
-                self.stats.solves += len(loads_columns)
-                self.stats.stacked_solves += 1
-                self.stats.stacked_columns += len(loads_columns)
-                stale = (w, s) in self._stale_solvers
-            solutions = solver.solve_many(
-                loads_columns, stacked=stacked, reuse_preprocessing=not stale
-            )
-            self._after_solve((w, s), solver)
-            return solutions
+        with trace_span(
+            "session.solve",
+            workload=w.describe(),
+            approach=s.approach.value,
+            columns=len(loads_columns),
+        ):
+            with self.workload_lock(w):
+                solver = self.solver(w, s)
+                with self._cache_lock:
+                    self.stats.solves += len(loads_columns)
+                    self.stats.stacked_solves += 1
+                    self.stats.stacked_columns += len(loads_columns)
+                    stale = (w, s) in self._stale_solvers
+                solutions = solver.solve_many(
+                    loads_columns, stacked=stacked, reuse_preprocessing=not stale
+                )
+                self._after_solve((w, s), solver)
+                return solutions
 
     def note_stacked_solve(self, columns: int) -> None:
         """Record a multi-RHS block solve that ran on this session's behalf.
@@ -657,3 +665,18 @@ class Session:
             "hierarchical_projectors": hierarchical_projectors,
             **self.tier.stats(),
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the session's counters into a :class:`~repro.observe.
+        metrics.MetricsRegistry` (one gauge per ``cache_stats`` entry,
+        prefixed ``repro_session_``; the tier publishes its own
+        ``repro_tier_*`` metrics)."""
+        stats = self.cache_stats()
+        tier_keys = set(self.tier.stats())
+        for key, value in stats.items():
+            if key in tier_keys or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(
+                f"repro_session_{key}", f"Session cache_stats counter {key}"
+            ).set(float(value))
+        self.tier.publish_metrics(registry)

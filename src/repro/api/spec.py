@@ -169,6 +169,12 @@ class SolverSpec:
         (half-size factor and pack storage, solves carry the storage
         rounding), or ``"fp32_ir"`` (fp32 storage plus iterative
         refinement recovering fp64-level residuals).
+    residual_history:
+        Number of per-iteration PCPG residual norms to retain on the
+        result (``PcpgResult.residual_history`` and the
+        ``ConvergenceReport`` on ``FetiSolution``).  ``0`` (the default)
+        keeps none; ``N`` keeps the first ``N`` norms (iteration 0 = the
+        initial residual), so long solves stay memory-bounded.
     machine:
         Advanced escape hatch: a full :class:`MachineConfig` (custom cost
         models).  Mutually exclusive with ``threads_per_cluster`` /
@@ -188,6 +194,7 @@ class SolverSpec:
     execution: ExecutionSpec | str | None = None
     coarse: str = "auto"
     precision: str = "fp64"
+    residual_history: int = 0
     machine: MachineConfig | None = None
 
     def __post_init__(self) -> None:
@@ -246,6 +253,14 @@ class SolverSpec:
                 f"{', '.join(repr(p) for p in PRECISION_NAMES)} "
                 "('fp32' stores factors in single precision, 'fp32_ir' adds "
                 "iterative refinement back to fp64-level residuals)"
+            )
+        object.__setattr__(
+            self, "residual_history", _whole_int("residual_history", self.residual_history)
+        )
+        if self.residual_history < 0:
+            raise SpecError(
+                f"residual_history must be >= 0, got {self.residual_history!r} "
+                "(0 disables residual-history capture, N keeps the first N norms)"
             )
         if self.machine is not None and (
             self.threads_per_cluster is not None or self.streams_per_cluster is not None
@@ -348,6 +363,7 @@ class SolverSpec:
             "execution": None if self.execution is None else self.execution.to_dict(),
             "coarse": self.coarse,
             "precision": self.precision,
+            "residual_history": self.residual_history,
         }
 
     @classmethod

@@ -128,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(e.g. a hung pool worker) aborts the run with exit code 2"
         ),
     )
+    p_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help=(
+            "trace every freshly measured grid point and write one JSON "
+            "document holding the per-point span trees (keyed by point key) "
+            "plus a combined Chrome trace-event stream to PATH"
+        ),
+    )
 
     p_cmp = sub.add_parser("compare", help="diff fresh records against baselines")
     _add_selection(p_cmp)
@@ -328,6 +337,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         names = _select(args, default_all=True)
         get_scenario = registry.get
+    trace_sink = {} if args.trace else None
     for name in names:
         scenario = get_scenario(name)
         if (
@@ -349,6 +359,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 scenario,
                 check_invariants=not args.no_invariants,
                 point_timeout=args.timeout,
+                trace_sink=trace_sink,
             )
         except InvariantViolation as exc:
             print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
@@ -359,7 +370,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         path = write_record(result.record, args.output_dir)
         print(f"  wrote {path}")
         _print_speedup_summary(result.record)
+    if trace_sink is not None:
+        trace_path = _write_trace(trace_sink, args.trace)
+        print(f"  wrote {trace_path} ({len(trace_sink)} traced point(s))")
     return 0
+
+
+def _write_trace(trace_sink: dict, path: str):
+    """Serialize collected per-point tracers into one JSON document.
+
+    The document carries both views: ``points`` maps each measured point's
+    key to its nested span tree, and ``traceEvents`` concatenates every
+    tracer's Chrome trace events so the whole run loads in
+    ``chrome://tracing`` / Perfetto as-is.
+    """
+    from pathlib import Path
+
+    document = {
+        "schema_version": 1,
+        "displayTimeUnit": "ms",
+        "points": {key: tracer.to_tree() for key, tracer in trace_sink.items()},
+        "traceEvents": [
+            event
+            for tracer in trace_sink.values()
+            for event in tracer.chrome_events()
+        ],
+    }
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2) + "\n")
+    return target
 
 
 def _print_speedup_summary(record: dict) -> None:

@@ -44,6 +44,8 @@ from repro.bench.registry import Scenario
 from repro.cluster.topology import MachineConfig
 from repro.feti.config import DualOperatorApproach
 from repro.feti.projector import build_projector
+from repro.observe.log import get_logger
+from repro.observe.trace import Tracer, capture_context, run_with_context, trace
 from repro.runtime.executor import ExecutionSpec
 
 __all__ = [
@@ -73,6 +75,8 @@ RUNNER_MACHINE = MachineConfig(threads_per_cluster=4, streams_per_cluster=4)
 
 #: Seed of the deterministic dual vector applied at every grid point.
 _APPLY_SEED = 20250729
+
+_log = get_logger("repro.bench")
 
 
 class InvariantViolation(AssertionError):
@@ -229,6 +233,7 @@ def run_scenario(
     scenario: Scenario,
     check_invariants: bool = True,
     point_timeout: float | None = None,
+    trace_sink: dict[str, Tracer] | None = None,
 ) -> ScenarioResult:
     """Execute a scenario's full grid and build its benchmark record.
 
@@ -236,6 +241,13 @@ def run_scenario(
     that does not finish (e.g. a hung pool worker) raises
     :class:`PointTimeout` instead of stalling the run — CI's benchmark gate
     sets it so a wedged runtime worker fails fast.
+
+    ``trace_sink`` (a mutable mapping) opts into per-point tracing: every
+    *freshly measured* grid point runs under its own
+    :class:`~repro.observe.trace.Tracer` which lands in the sink keyed by
+    the point's :func:`point_key` string.  Points answered from the
+    measurement cache produce no spans and are skipped, so the sink holds
+    exactly the work this run actually did.
 
     Scenarios that measure something other than the operator grid (e.g. the
     ``serve_load`` service scenario) provide their own ``run_record`` hook;
@@ -249,6 +261,9 @@ def run_scenario(
         empty = SweepResult(parameters=list(scenario.grid()))
         return ScenarioResult(scenario=scenario, sweep=empty, record=record)
 
+    _log.info(
+        "scenario_start", scenario=scenario.name, points=scenario.n_points()
+    )
     qs: dict[tuple[Any, ...], np.ndarray] = {}
 
     def measure(
@@ -269,10 +284,28 @@ def run_scenario(
         key = point_key(
             subdomains, cells, approach, batched, blocked, execution, coarse, precision
         )
-        if point_timeout is not None:
-            m = _measure_with_timeout(args, point_timeout, key)
+
+        def run() -> PointMeasurement:
+            if point_timeout is not None:
+                return _measure_with_timeout(args, point_timeout, key)
+            return measure_point(*args)
+
+        if trace_sink is not None:
+            with trace(f"bench:{key}") as tracer:
+                m = run()
+            # A cached point re-runs nothing, so its tracer stays empty —
+            # keep only tracers that actually saw the measured numerics.
+            if len(tracer):
+                trace_sink[key] = tracer
         else:
-            m = measure_point(*args)
+            m = run()
+        _log.debug(
+            "point_measured",
+            scenario=scenario.name,
+            key=key,
+            wall_preprocessing_seconds=m.wall_preprocessing_seconds,
+            wall_apply_seconds=m.wall_apply_seconds,
+        )
         qs[(subdomains, cells, approach, batched, blocked, execution, coarse, precision)] = m.q
         return {
             "key": key,
@@ -294,6 +327,9 @@ def run_scenario(
         _check_operator_consistency(scenario, qs)
         _check_expected(scenario)
     record = _build_record(scenario, sweep)
+    _log.info(
+        "scenario_done", scenario=scenario.name, measured=len(sweep.records)
+    )
     return ScenarioResult(scenario=scenario, sweep=sweep, record=record)
 
 
@@ -309,7 +345,13 @@ def _measure_with_timeout(args: tuple, timeout: float, key: str) -> PointMeasure
     from concurrent.futures import TimeoutError as FutureTimeout
 
     watchdog = ThreadPoolExecutor(max_workers=1, thread_name_prefix="bench-watchdog")
-    future = watchdog.submit(measure_point, *args)
+    # Hand the active trace context (if any) to the watchdog thread so a
+    # traced budgeted run attributes its spans like an untimed one.
+    state = capture_context()
+    if state is not None:
+        future = watchdog.submit(run_with_context, state, measure_point, *args)
+    else:
+        future = watchdog.submit(measure_point, *args)
     try:
         result = future.result(timeout=timeout)
     except FutureTimeout:

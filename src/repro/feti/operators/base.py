@@ -22,6 +22,7 @@ from repro.feti.config import AssemblyConfig, DualOperatorApproach
 from repro.feti.operators.batch import SubdomainBatchEngine
 from repro.feti.problem import FetiProblem, SubdomainProblem
 from repro.memory.precision import PrecisionPolicy, resolve_precision
+from repro.observe.trace import trace_span
 from repro.sparse.cache import PatternCache
 from repro.sparse.solvers import SparseSolverBase
 
@@ -170,7 +171,8 @@ class DualOperatorBase(abc.ABC):
     def prepare(self) -> PhaseTiming:
         """Run the preparation phase (once per mesh)."""
         wall0 = time.perf_counter()
-        sim, breakdown = self._prepare_impl()
+        with trace_span("preparation", approach=self.approach.value):
+            sim, breakdown = self._prepare_impl()
         phase = PhaseTiming(
             name="preparation",
             simulated_seconds=sim,
@@ -185,7 +187,8 @@ class DualOperatorBase(abc.ABC):
         if not self._prepared:
             self.prepare()
         wall0 = time.perf_counter()
-        sim, breakdown = self._preprocess_impl()
+        with trace_span("preprocessing", approach=self.approach.value):
+            sim, breakdown = self._preprocess_impl()
         phase = PhaseTiming(
             name="preprocessing",
             simulated_seconds=sim,
@@ -205,7 +208,8 @@ class DualOperatorBase(abc.ABC):
                 f"dual vector has shape {lam.shape}, expected ({self.problem.n_lambda},)"
             )
         wall0 = time.perf_counter()
-        q, sim, breakdown = self._apply_impl(lam)
+        with trace_span("apply"):
+            q, sim, breakdown = self._apply_impl(lam)
         phase = PhaseTiming(
             name="apply",
             simulated_seconds=sim,
@@ -240,22 +244,23 @@ class DualOperatorBase(abc.ABC):
                 f"({self.problem.n_lambda}, k)"
             )
         wall0 = time.perf_counter()
-        result = self._apply_multi_stacked(lam_block) if stacked else None
-        if result is None:
-            sim = 0.0
-            breakdown: dict[str, float] = {}
-            columns = []
-            for j in range(lam_block.shape[1]):
-                q, col_sim, col_breakdown = self._apply_impl(
-                    np.ascontiguousarray(lam_block[:, j])
-                )
-                columns.append(q)
-                sim += col_sim
-                for key, value in col_breakdown.items():
-                    breakdown[key] = breakdown.get(key, 0.0) + value
-            out = np.column_stack(columns) if columns else np.zeros_like(lam_block)
-        else:
-            out, sim, breakdown = result
+        with trace_span("apply_multi", columns=int(lam_block.shape[1]), stacked=stacked):
+            result = self._apply_multi_stacked(lam_block) if stacked else None
+            if result is None:
+                sim = 0.0
+                breakdown: dict[str, float] = {}
+                columns = []
+                for j in range(lam_block.shape[1]):
+                    q, col_sim, col_breakdown = self._apply_impl(
+                        np.ascontiguousarray(lam_block[:, j])
+                    )
+                    columns.append(q)
+                    sim += col_sim
+                    for key, value in col_breakdown.items():
+                        breakdown[key] = breakdown.get(key, 0.0) + value
+                out = np.column_stack(columns) if columns else np.zeros_like(lam_block)
+            else:
+                out, sim, breakdown = result
         phase = PhaseTiming(
             name="apply_multi",
             simulated_seconds=sim,

@@ -13,6 +13,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.observe.trace import trace_event, trace_span
+
 __all__ = ["PcpgResult", "pcpg", "pcpg_block"]
 
 
@@ -26,6 +28,11 @@ class PcpgResult:
     residual_norms: list[float] = field(default_factory=list)
     #: Final value of ``d − F λ`` (reused for the α recovery).
     final_residual: np.ndarray | None = None
+    #: First ``SolverSpec.residual_history`` per-iteration norms (opt-in;
+    #: empty when history capture is off).  Entry 0 is the initial residual.
+    residual_history: list[float] = field(default_factory=list)
+    #: Defect-correction rounds the solve ran (fp32_ir precision policy).
+    defect_rounds: int = 0
 
     @property
     def relative_residual(self) -> float:
@@ -46,6 +53,7 @@ def pcpg(
     max_iterations: int = 500,
     absolute_tolerance: float = 1e-300,
     callback: Callable[[int, float], None] | None = None,
+    residual_history: int = 0,
 ) -> PcpgResult:
     """Run Algorithm 1 of the paper.
 
@@ -71,6 +79,9 @@ def pcpg(
         residual).
     callback:
         Optional per-iteration callback ``callback(k, residual_norm)``.
+    residual_history:
+        Keep the first ``residual_history`` residual norms on
+        ``PcpgResult.residual_history`` (0 keeps none).
     """
     lam = np.array(lambda_0, dtype=float, copy=True)
     r = d - apply_F(lam)
@@ -83,7 +94,12 @@ def pcpg(
     norms = [norm0]
     if norm0 <= absolute_tolerance:
         return PcpgResult(
-            lam=lam, iterations=0, converged=True, residual_norms=norms, final_residual=r
+            lam=lam,
+            iterations=0,
+            converged=True,
+            residual_norms=norms,
+            final_residual=r,
+            residual_history=norms[:residual_history],
         )
 
     converged = False
@@ -93,33 +109,36 @@ def pcpg(
     # temporaries for ``delta * p`` / ``delta * q`` every iteration.
     scratch = np.empty_like(lam)
     for k in range(max_iterations):
-        q = apply_F(p)
-        pq = float(p @ q)
-        if pq <= 0.0:
-            # Loss of positive definiteness on the constraint subspace —
-            # stop and report non-convergence rather than diverging silently.
-            break
-        delta = wy / pq
-        np.multiply(p, delta, out=scratch)
-        lam += scratch
-        np.multiply(q, delta, out=scratch)
-        r -= scratch
-        w_next = apply_P(r)
-        y_next = apply_P(apply_M(w_next))
-        wy_next = float(w_next @ y_next)
-        norm = np.sqrt(abs(wy_next))
-        norms.append(norm)
-        if callback is not None:
-            callback(k + 1, norm)
-        if norm <= max(tolerance * norm0, absolute_tolerance):
-            converged = True
+        with trace_span("iteration", k=k + 1):
+            q = apply_F(p)
+            pq = float(p @ q)
+            if pq <= 0.0:
+                # Loss of positive definiteness on the constraint subspace —
+                # stop and report non-convergence rather than diverging
+                # silently.
+                break
+            delta = wy / pq
+            np.multiply(p, delta, out=scratch)
+            lam += scratch
+            np.multiply(q, delta, out=scratch)
+            r -= scratch
+            w_next = apply_P(r)
+            y_next = apply_P(apply_M(w_next))
+            wy_next = float(w_next @ y_next)
+            norm = np.sqrt(abs(wy_next))
+            norms.append(norm)
+            trace_event("residual", iteration=k + 1, norm=norm)
+            if callback is not None:
+                callback(k + 1, norm)
+            if norm <= max(tolerance * norm0, absolute_tolerance):
+                converged = True
+                w, y, wy = w_next, y_next, wy_next
+                k += 1
+                break
+            beta = wy_next / wy
+            p *= beta
+            p += y_next
             w, y, wy = w_next, y_next, wy_next
-            k += 1
-            break
-        beta = wy_next / wy
-        p *= beta
-        p += y_next
-        w, y, wy = w_next, y_next, wy_next
     else:
         k = max_iterations
 
@@ -129,6 +148,7 @@ def pcpg(
         converged=converged,
         residual_norms=norms,
         final_residual=r,
+        residual_history=norms[:residual_history],
     )
 
 
@@ -145,6 +165,7 @@ def pcpg_block(
     callback: Callable[[int, int, float], None] | None = None,
     apply_P_block: Callable[[np.ndarray], np.ndarray] | None = None,
     apply_M_block: Callable[[np.ndarray], np.ndarray] | None = None,
+    residual_history: int = 0,
 ) -> list[PcpgResult]:
     """Run Algorithm 1 on ``k`` right-hand sides in lockstep.
 
@@ -187,6 +208,9 @@ def pcpg_block(
         apply_block`) keeps the iterates bitwise identical to the
         per-column callables.  ``None`` falls back to looping ``apply_P``
         / ``apply_M`` over the columns.
+    residual_history:
+        Keep the first ``residual_history`` residual norms per column on
+        ``PcpgResult.residual_history`` (0 keeps none).
     """
     n_cols = len(d_columns)
     if len(lambda_0_columns) != n_cols:
@@ -244,46 +268,49 @@ def pcpg_block(
     for k in range(max_iterations):
         if not active:
             break
-        q_block = apply_F_block(np.column_stack([p[j] for j in active]))
-        # Phase 1: per-column direction/step updates, collecting the columns
-        # that survive the positive-definiteness check.
-        updating: list[int] = []
-        for pos, j in enumerate(active):
-            q = np.ascontiguousarray(q_block[:, pos])
-            pq = float(p[j] @ q)
-            if pq <= 0.0:
-                # Loss of positive definiteness on this column only — the
-                # remaining columns keep iterating.
-                iterations[j] = k
-                continue
-            delta = wy[j] / pq
-            np.multiply(p[j], delta, out=scratch[j])
-            lam[j] += scratch[j]
-            np.multiply(q, delta, out=scratch[j])
-            r[j] -= scratch[j]
-            updating.append(j)
-        # Phase 2: the projections / preconditioner applications of all
-        # updated columns, fused into stacked calls where block forms exist.
-        w_nexts = project([r[j] for j in updating])
-        y_nexts = project(precondition(w_nexts))
-        # Phase 3: per-column convergence checks and direction updates.
-        still_active: list[int] = []
-        for j, w_next, y_next in zip(updating, w_nexts, y_nexts):
-            wy_next = float(w_next @ y_next)
-            norm = np.sqrt(abs(wy_next))
-            norms[j].append(norm)
-            if callback is not None:
-                callback(j, k + 1, norm)
-            if norm <= tol[j]:
-                converged[j] = True
-                iterations[j] = k + 1
-                continue
-            beta = wy_next / wy[j]
-            p[j] *= beta
-            p[j] += y_next
-            wy[j] = wy_next
-            still_active.append(j)
-        active = still_active
+        with trace_span("block_iteration", k=k + 1, active=len(active)):
+            q_block = apply_F_block(np.column_stack([p[j] for j in active]))
+            # Phase 1: per-column direction/step updates, collecting the
+            # columns that survive the positive-definiteness check.
+            updating: list[int] = []
+            for pos, j in enumerate(active):
+                q = np.ascontiguousarray(q_block[:, pos])
+                pq = float(p[j] @ q)
+                if pq <= 0.0:
+                    # Loss of positive definiteness on this column only — the
+                    # remaining columns keep iterating.
+                    iterations[j] = k
+                    continue
+                delta = wy[j] / pq
+                np.multiply(p[j], delta, out=scratch[j])
+                lam[j] += scratch[j]
+                np.multiply(q, delta, out=scratch[j])
+                r[j] -= scratch[j]
+                updating.append(j)
+            # Phase 2: the projections / preconditioner applications of all
+            # updated columns, fused into stacked calls where block forms
+            # exist.
+            w_nexts = project([r[j] for j in updating])
+            y_nexts = project(precondition(w_nexts))
+            # Phase 3: per-column convergence checks and direction updates.
+            still_active: list[int] = []
+            for j, w_next, y_next in zip(updating, w_nexts, y_nexts):
+                wy_next = float(w_next @ y_next)
+                norm = np.sqrt(abs(wy_next))
+                norms[j].append(norm)
+                trace_event("residual", column=j, iteration=k + 1, norm=norm)
+                if callback is not None:
+                    callback(j, k + 1, norm)
+                if norm <= tol[j]:
+                    converged[j] = True
+                    iterations[j] = k + 1
+                    continue
+                beta = wy_next / wy[j]
+                p[j] *= beta
+                p[j] += y_next
+                wy[j] = wy_next
+                still_active.append(j)
+            active = still_active
     for j in active:
         iterations[j] = max_iterations
 
@@ -294,6 +321,7 @@ def pcpg_block(
             converged=converged[j],
             residual_norms=norms[j],
             final_residual=r[j],
+            residual_history=norms[j][:residual_history],
         )
         for j in range(n_cols)
     ]

@@ -29,6 +29,8 @@ from repro.feti.preconditioner import (
 from repro.feti.problem import FetiProblem
 from repro.feti.projector import Projector, build_projector
 from repro.memory.precision import resolve_precision
+from repro.observe.convergence import ConvergenceReport
+from repro.observe.trace import trace_span
 from repro.sparse.cache import PatternCache
 
 if TYPE_CHECKING:  # imported lazily at runtime (repro.api imports repro.feti)
@@ -56,6 +58,10 @@ class FetiSolution:
     #: Wall seconds of the coarse-problem work (projections, coarse solves)
     #: attributable to this solve.
     coarse_seconds: float = 0.0
+    #: Convergence telemetry of the PCPG solve (iteration count, residual
+    #: trajectory when ``SolverSpec.residual_history`` opts in, and
+    #: defect-correction rounds).
+    convergence: ConvergenceReport | None = None
 
     @property
     def iterations(self) -> int:
@@ -66,6 +72,11 @@ class FetiSolution:
     def converged(self) -> bool:
         """Whether PCPG reached its tolerance."""
         return self.pcpg.converged
+
+    @property
+    def residual_history(self) -> list[float]:
+        """Capped per-iteration residual norms (empty unless opted in)."""
+        return self.pcpg.residual_history
 
 
 class FetiSolver:
@@ -182,22 +193,26 @@ class FetiSolver:
         else:
             preprocessing = self.preprocess()
 
-        d = self.operator.dual_rhs()
-        e = self.problem.compute_e()
+        with trace_span("dual_rhs"):
+            d = self.operator.dual_rhs()
+            e = self.problem.compute_e()
         coarse_before = self.projector.seconds
-        lambda_0 = self.projector.initial_lambda(e)
+        with trace_span("coarse_setup", mode=self.spec.coarse):
+            lambda_0 = self.projector.initial_lambda(e)
 
         apply_count_before = self.operator.ledger.count("apply")
-        result = pcpg(
-            apply_F=self.operator.apply,
-            apply_P=self.projector.apply,
-            apply_M=self.preconditioner.apply,
-            d=d,
-            lambda_0=lambda_0,
-            tolerance=self.spec.tolerance,
-            max_iterations=self.spec.max_iterations,
-            absolute_tolerance=self.spec.absolute_tolerance,
-        )
+        with trace_span("pcpg", tolerance=self.spec.tolerance):
+            result = pcpg(
+                apply_F=self.operator.apply,
+                apply_P=self.projector.apply,
+                apply_M=self.preconditioner.apply,
+                d=d,
+                lambda_0=lambda_0,
+                tolerance=self.spec.tolerance,
+                max_iterations=self.spec.max_iterations,
+                absolute_tolerance=self.spec.absolute_tolerance,
+                residual_history=self.spec.residual_history,
+            )
         apply_phases = self.operator.ledger.phases
         dual_apply_seconds = sum(
             p.simulated_seconds
@@ -205,15 +220,17 @@ class FetiSolver:
             if p.name == "apply"
         )
         if self.precision.dual_refine_rounds:
-            result = self._dual_defect_correction(d, result)
+            with trace_span("defect_correction"):
+                result = self._dual_defect_correction(d, result)
 
-        residual = (
-            result.final_residual
-            if result.final_residual is not None
-            else d - self.operator.apply(result.lam)
-        )
-        alpha = self.projector.alpha(residual)
-        primal = self.operator.primal_solution(result.lam, alpha)
+        with trace_span("primal_recovery"):
+            residual = (
+                result.final_residual
+                if result.final_residual is not None
+                else d - self.operator.apply(result.lam)
+            )
+            alpha = self.projector.alpha(residual)
+            primal = self.operator.primal_solution(result.lam, alpha)
         return FetiSolution(
             lam=result.lam,
             alpha=alpha,
@@ -222,6 +239,7 @@ class FetiSolver:
             preprocessing=preprocessing,
             dual_apply_seconds=dual_apply_seconds,
             coarse_seconds=self.projector.seconds - coarse_before,
+            convergence=ConvergenceReport.from_pcpg(result, self.spec.tolerance),
         )
 
     def _dual_defect_correction(self, d: np.ndarray, result: PcpgResult) -> PcpgResult:
@@ -246,6 +264,7 @@ class FetiSolver:
         iterations = result.iterations
         converged = result.converged
         norms = list(result.residual_norms)
+        rounds = 0
         for _ in range(self.precision.dual_refine_rounds):
             if float(np.linalg.norm(apply_P(residual))) <= target:
                 converged = True
@@ -265,6 +284,7 @@ class FetiSolver:
             norms.extend(correction.residual_norms)
             converged = correction.converged
             residual = d - self.operator.apply_accurate(lam)
+            rounds += 1
         return replace(
             result,
             lam=lam,
@@ -272,6 +292,8 @@ class FetiSolver:
             converged=converged,
             residual_norms=norms,
             final_residual=residual,
+            residual_history=norms[: self.spec.residual_history],
+            defect_rounds=result.defect_rounds + rounds,
         )
 
     def solve_many(
@@ -339,18 +361,20 @@ class FetiSolver:
             def apply_F_block(block: np.ndarray) -> np.ndarray:
                 return self.operator.apply_multi(block, stacked=stacked)
 
-            results = pcpg_block(
-                apply_F_block=apply_F_block,
-                apply_P=self.projector.apply,
-                apply_M=self.preconditioner.apply,
-                apply_P_block=self.projector.apply_block,
-                apply_M_block=self.preconditioner.apply_block,
-                d_columns=d_cols,
-                lambda_0_columns=lambda_0_cols,
-                tolerance=self.spec.tolerance,
-                max_iterations=self.spec.max_iterations,
-                absolute_tolerance=self.spec.absolute_tolerance,
-            )
+            with trace_span("pcpg", columns=n_cols, stacked=stacked):
+                results = pcpg_block(
+                    apply_F_block=apply_F_block,
+                    apply_P=self.projector.apply,
+                    apply_M=self.preconditioner.apply,
+                    apply_P_block=self.projector.apply_block,
+                    apply_M_block=self.preconditioner.apply_block,
+                    d_columns=d_cols,
+                    lambda_0_columns=lambda_0_cols,
+                    tolerance=self.spec.tolerance,
+                    max_iterations=self.spec.max_iterations,
+                    absolute_tolerance=self.spec.absolute_tolerance,
+                    residual_history=self.spec.residual_history,
+                )
             apply_phases = self.operator.ledger.phases
             total_apply_seconds = sum(
                 p.simulated_seconds
@@ -397,6 +421,9 @@ class FetiSolver:
                         preprocessing=preprocessing,
                         dual_apply_seconds=apply_share,
                         coarse_seconds=coarse_share,
+                        convergence=ConvergenceReport.from_pcpg(
+                            result, self.spec.tolerance, columns=n_cols
+                        ),
                     )
                 )
             return solutions

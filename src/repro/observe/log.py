@@ -1,0 +1,135 @@
+"""Structured logging on top of the stdlib ``logging`` module.
+
+Producers log *events with fields*, not format strings::
+
+    log = get_logger("repro.serve.access")
+    log.info("request", request_id=rid, status=200, latency_ms=12.4)
+
+Nothing is emitted until :func:`configure_logging` attaches a handler
+(typically from a CLI entry point) — until then records propagate to the
+root logger as usual, which keeps ``pytest`` ``caplog`` and embedding
+applications in control.  Two formatters ship: ``key=value`` lines for
+humans and one-JSON-object-per-line for ingestion (``--log-json``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+__all__ = ["StructuredLogger", "get_logger", "configure_logging"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class StructuredLogger:
+    """Thin wrapper emitting event + field records through a stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        return self._logger.name
+
+    def _log(self, level: int, event: str, fields: dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level, event, extra={"repro_event": event, "repro_fields": fields}
+            )
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` logging namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return StructuredLogger(logging.getLogger(name))
+
+
+def _record_fields(record: logging.LogRecord) -> dict[str, Any]:
+    fields = getattr(record, "repro_fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts level logger event k=v ...`` — the human-readable default."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(record.created))
+        ms = int(record.msecs)
+        parts = [
+            f"{ts}.{ms:03d}",
+            record.levelname.lower(),
+            record.name,
+            record.getMessage(),
+        ]
+        for key, value in _record_fields(record).items():
+            if isinstance(value, float):
+                value = f"{value:.6g}"
+            text = str(value)
+            if " " in text or '"' in text:
+                text = json.dumps(text)
+            parts.append(f"{key}={text}")
+        if record.exc_info:
+            parts.append("exc=" + json.dumps(self.formatException(record.exc_info)))
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line (machine ingestion, ``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "repro_event", record.getMessage()),
+        }
+        doc.update(_record_fields(record))
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+def configure_logging(
+    level: str = "info", json_mode: bool = False, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger (CLI entry points).
+
+    Replaces any handler installed by a previous call, sets the requested
+    level, and stops propagation so embedding applications don't see
+    duplicate lines.  Returns the configured stdlib logger.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level: {level!r} (choose from {sorted(_LEVELS)})")
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(_LEVELS[level])
+    logger.propagate = False
+    return logger

@@ -37,7 +37,10 @@ import threading
 from collections.abc import Callable, Mapping, Sequence
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
+
+from repro.observe.trace import capture_context, run_traced_process_task, run_with_context
 
 __all__ = [
     "BACKENDS",
@@ -289,6 +292,12 @@ class ThreadExecutor(Executor):
             except BaseException as exc:  # noqa: BLE001 - mirrored into the future
                 future.set_exception(exc)
             return future
+        # Trace context does not flow into pool threads by itself: capture
+        # the submitter's state and re-install it around the task so worker
+        # spans nest under the submitting request.
+        state = capture_context()
+        if state is not None:
+            fn = partial(run_with_context, state, fn)
         return self._pool.submit(fn, *args, **kwargs)
 
     def close(self) -> None:
@@ -395,7 +404,33 @@ class ProcessExecutor(Executor):
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         self._check_open()
-        return self._ensure_pool().submit(fn, *args, **kwargs)
+        pool = self._ensure_pool()
+        state = capture_context()
+        if state is None:
+            return pool.submit(fn, *args, **kwargs)
+        # Tracing is on: run the task under a worker-local tracer and ship
+        # the worker's spans back with the result, re-parented onto the
+        # submitting context so cross-process work attributes correctly.
+        tracer, parent_id = state
+        inner = pool.submit(run_traced_process_task, parent_id, fn, args, kwargs)
+        outer: Future = Future()
+
+        def _unwrap(f: Future) -> None:
+            if f.cancelled():
+                outer.cancel()
+                return
+            if not outer.set_running_or_notify_cancel():
+                return
+            exc = f.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            result, spans, events = f.result()
+            tracer.adopt(spans, events, parent_id)
+            outer.set_result(result)
+
+        inner.add_done_callback(_unwrap)
+        return outer
 
     def warm(self) -> None:
         pool = self._ensure_pool()

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Mapping, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.observe.trace import trace_span
 from repro.runtime.executor import Executor
 from repro.runtime.kernels import (
     batched_factor_panels,
@@ -234,10 +235,12 @@ def _compute_group_inproc(
 def _compute_shard_inproc(args: tuple) -> list[_GroupComputed]:
     """Thread-backend shard task: compute every group, return the arrays."""
     groups, need_schur, exploit, need_fill, blocked = args
-    return [
-        _compute_group_inproc(g, need_schur, exploit, need_fill, blocked)
-        for g in groups
-    ]
+    n_subdomains = sum(len(g.subs) for g in groups)
+    with trace_span("factorize", backend="threads", subdomains=n_subdomains):
+        return [
+            _compute_group_inproc(g, need_schur, exploit, need_fill, blocked)
+            for g in groups
+        ]
 
 
 # --------------------------------------------------------------------- #
@@ -343,6 +346,12 @@ def _run_shard_process(payload: dict) -> list[dict]:
     shm = buf = None
     if payload["arena"] is not None:
         shm, buf = attach_view(payload["arena"])
+    n_groups = len(payload["groups"])
+    with trace_span("factorize", backend="processes", groups=n_groups):
+        return _run_shard_process_body(payload, shm, buf)
+
+
+def _run_shard_process_body(payload: dict, shm, buf) -> list[dict]:
     try:
         results: list[dict] = []
         for g in payload["groups"]:
@@ -549,16 +558,17 @@ def run_preprocessing(
     if executor.workers <= 1:
         # The historical reference loop, bit-for-bit (including the
         # per-column start-row exploitation of the PARDISO Schur path).
-        for _, subs in clusters:
-            for sub in subs:
-                solver = solvers[sub.index]
-                solver.factorize(sub.K_reg)
-                out = SubdomainPreprocessed()
-                if need_schur:
-                    out.local_F = solver.schur_complement(sub.B)
-                if need_rhs_fill:
-                    out.rhs_fill = solver.rhs_fill(sub.B)
-                round_.outputs[sub.index] = out
+        with trace_span("factorize", backend="serial", subdomains=len(subdomains)):
+            for _, subs in clusters:
+                for sub in subs:
+                    solver = solvers[sub.index]
+                    solver.factorize(sub.K_reg)
+                    out = SubdomainPreprocessed()
+                    if need_schur:
+                        out.local_F = solver.schur_complement(sub.B)
+                    if need_rhs_fill:
+                        out.rhs_fill = solver.rhs_fill(sub.B)
+                    round_.outputs[sub.index] = out
         return round_
 
     plan = ShardPlan.for_clusters(

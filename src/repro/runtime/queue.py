@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.observe.trace import capture_context, run_with_context
 from repro.runtime.executor import ExecutionSpec, Executor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -388,7 +389,13 @@ class SolveQueue:
         if self._request_pool is not None:
             # One drain task per submission: the first to win the workload
             # lock takes the whole pending batch, later ones find it empty.
-            self._request_pool.submit(self._drain, w, s)
+            # The drain runs on a pool thread, so the submitter's trace
+            # context (if any) is re-installed around it explicitly.
+            state = capture_context()
+            if state is not None:
+                self._request_pool.submit(run_with_context, state, self._drain, w, s)
+            else:
+                self._request_pool.submit(self._drain, w, s)
         else:
             # Serial backend: the request runs inline at submission (the
             # reference behaviour) — unless a concurrent submitter already
@@ -423,6 +430,24 @@ class SolveQueue:
     def pending(self) -> int:
         """Requests submitted but not yet finished."""
         return sum(1 for t in self._tickets if not t.done)
+
+    def publish_metrics(self, registry) -> None:
+        """Publish queue counters into a :class:`~repro.observe.metrics.
+        MetricsRegistry` (called by metrics endpoints at scrape time)."""
+        with self._submit_lock:
+            tickets = len(self._tickets)
+            coalesced = self.coalesced_batches
+            pending = sum(1 for t in self._tickets if not t.done)
+        registry.gauge(
+            "repro_queue_requests_total", "Requests submitted to the solve queue"
+        ).set(tickets)
+        registry.gauge(
+            "repro_queue_coalesced_batches_total",
+            "Drained batches that coalesced more than one request",
+        ).set(coalesced)
+        registry.gauge(
+            "repro_queue_pending", "Requests submitted but not yet finished"
+        ).set(pending)
 
     # ------------------------------------------------------------------ #
     def _drain(self, workload, spec) -> None:

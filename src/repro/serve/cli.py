@@ -16,6 +16,7 @@ import asyncio
 import contextlib
 import sys
 
+from repro.observe.log import configure_logging
 from repro.serve.server import ServeConfig, SolveServer
 
 __all__ = ["main", "build_parser"]
@@ -66,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=defaults.cache_size,
         help="result cache capacity (0 disables caching)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured log threshold (access logs are emitted at info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured logs as JSON lines instead of key=value text",
+    )
     return parser
 
 
@@ -73,7 +85,10 @@ async def _serve(config: ServeConfig) -> None:
     server = SolveServer(config)
     await server.start()
     print(f"repro-serve listening on http://{config.host}:{server.port}")
-    print("  POST /v1/solve   GET /v1/health   GET /v1/metrics")
+    print(
+        "  POST /v1/solve   GET /v1/health   GET /v1/metrics   "
+        "GET /v1/metrics/prometheus"
+    )
     sys.stdout.flush()
     try:
         await server.serve_forever()
@@ -83,6 +98,7 @@ async def _serve(config: ServeConfig) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
     config = ServeConfig(
         host=args.host,
         port=args.port,

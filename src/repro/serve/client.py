@@ -85,13 +85,26 @@ class ServeClient:
         return self._request("GET", "/v1/health")
 
     def metrics(self) -> dict[str, Any]:
-        """``GET /v1/metrics``."""
-        return self._request("GET", "/v1/metrics")
+        """``GET /v1/metrics``; raises :class:`ServeError` on an
+        incompatible ``schema_version``."""
+        document = self._request("GET", "/v1/metrics")
+        version = document.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ServeError(
+                200,
+                f"metrics schema_version mismatch: server says {version!r}, "
+                f"client speaks {SCHEMA_VERSION!r}",
+            )
+        return document
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics/prometheus``; returns the raw text exposition."""
+        return self._request_text("GET", "/v1/metrics/prometheus")
 
     # ------------------------------------------------------------------ #
-    def _request(
+    def _exchange(
         self, method: str, path: str, payload: dict[str, Any] | None = None
-    ) -> dict[str, Any]:
+    ) -> tuple[http.client.HTTPResponse, bytes]:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         headers = {"Content-Type": "application/json"} if body else {}
         try:
@@ -104,6 +117,19 @@ class ServeClient:
             self._conn.request(method, path, body=body, headers=headers)
             response = self._conn.getresponse()
             raw = response.read()
+        return response, raw
+
+    def _request_text(self, method: str, path: str) -> str:
+        response, raw = self._exchange(method, path)
+        text = raw.decode("utf-8", "replace")
+        if response.status >= 400:
+            raise ServeError(response.status, text.strip())
+        return text
+
+    def _request(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        response, raw = self._exchange(method, path, payload)
         try:
             document = json.loads(raw.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:

@@ -186,3 +186,53 @@ class SessionPool:
             "refactorizations": tier_refactorizations,
             "patterns": patterns,
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Publish pool-aggregated counters into a :class:`~repro.observe.
+        metrics.MetricsRegistry` (the ``repro_pool_*`` and ``repro_tier_*``
+        families of ``GET /v1/metrics/prometheus``)."""
+        stats = self.stats()
+        pool_keys = (
+            "sessions",
+            "max_sessions",
+            "evictions",
+            "stacked_solves",
+            "stacked_columns",
+            "coarse_applies",
+            "coarse_solves",
+            "coarse_seconds",
+            "hierarchical_projectors",
+        )
+        for key in pool_keys:
+            registry.gauge(
+                f"repro_pool_{key}", f"Session-pool aggregate {key}"
+            ).set(float(stats[key]))
+        # The PR-9 tier counters, aggregated across every pooled session —
+        # named like FactorTier.publish_metrics so dashboards see one
+        # family whether they scrape a session or a service.
+        registry.gauge(
+            "repro_tier_resident_bytes", "Factor bytes currently resident"
+        ).set(float(stats["resident_bytes"]))
+        registry.gauge(
+            "repro_tier_demotions_total", "Factor demotions to fp32 storage"
+        ).set(float(stats["demotions"]))
+        registry.gauge(
+            "repro_tier_evictions_total", "Factor evictions from the tier"
+        ).set(float(stats["tier_evictions"]))
+        registry.gauge(
+            "repro_tier_refactorizations_total",
+            "Lazy re-factorizations of demoted/evicted entries",
+        ).set(float(stats["refactorizations"]))
+        # Queue counters are summed across entries here (one gauge family
+        # per service) instead of letting each queue set them in turn.
+        with self._lock:
+            entries = list(self._entries.values())
+        requests = sum(len(e.queue._tickets) for e in entries)
+        coalesced = sum(e.queue.coalesced_batches for e in entries)
+        registry.gauge(
+            "repro_queue_requests_total", "Requests submitted to the solve queues"
+        ).set(float(requests))
+        registry.gauge(
+            "repro_queue_coalesced_batches_total",
+            "Drained batches that coalesced more than one request",
+        ).set(float(coalesced))

@@ -21,6 +21,15 @@ Endpoints
 ``GET /v1/metrics``
     Counters, latency percentiles (p50/p95/p99 over a sliding window),
     result-cache hit/miss statistics and per-pattern session cache stats.
+``GET /v1/metrics/prometheus``
+    The same counters in Prometheus text exposition format (version 0.0.4),
+    including the session-pool, factor-tier and solve-queue gauges.
+
+Every response carries an ``X-Repro-Request-Id`` header (echoed from the
+request header of the same name when present and well-formed, generated
+otherwise); the id is attached to the request's trace span and to the
+structured access-log record emitted per request on
+``repro.serve.access``.
 """
 
 from __future__ import annotations
@@ -28,12 +37,17 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
+from re import fullmatch
 from time import monotonic
 from typing import Any
 
 from repro.api import SolverSpec
+from repro.observe.log import get_logger
+from repro.observe.trace import capture_context, run_with_context, trace_span
 from repro.serve.cache import ResultCache
 from repro.serve.metrics import ServeMetrics
 from repro.serve.pool import SessionPool
@@ -42,6 +56,7 @@ from repro.serve.protocol import (
     ProtocolError,
     error_payload,
     parse_solve_request,
+    pattern_key,
     request_fingerprint,
     solution_payload,
 )
@@ -61,6 +76,12 @@ _REASONS = {
 
 #: Upper bound on request head + body size (covers large rhs vectors).
 _MAX_BODY = 64 * 1024 * 1024
+
+#: Accepted shape of a client-supplied ``X-Repro-Request-Id`` — anything
+#: else is replaced by a generated id so log/header injection is impossible.
+_REQUEST_ID = r"[A-Za-z0-9_-]{1,64}"
+
+_access_log = get_logger("repro.serve.access")
 
 
 @dataclass(frozen=True)
@@ -172,8 +193,31 @@ class SolveServer:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload = await self._dispatch(method, path, body)
-                await self._respond(writer, status, payload, keep_alive)
+                request_id = headers.get("x-repro-request-id", "")
+                if not fullmatch(_REQUEST_ID, request_id):
+                    request_id = uuid.uuid4().hex[:16]
+                info: dict[str, Any] = {}
+                started = monotonic()
+                with trace_span(
+                    "serve.request", request_id=request_id, method=method, path=path
+                ):
+                    status, payload = await self._dispatch(method, path, body, info)
+                _access_log.info(
+                    "request",
+                    request_id=request_id,
+                    method=method,
+                    path=path,
+                    status=status,
+                    latency_ms=round((monotonic() - started) * 1000.0, 3),
+                    **info,
+                )
+                await self._respond(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive,
+                    extra_headers=(f"X-Repro-Request-Id: {request_id}",),
+                )
                 if not keep_alive:
                     break
         except asyncio.CancelledError:
@@ -217,15 +261,22 @@ class SolveServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: dict[str, Any] | str,
         keep_alive: bool,
+        extra_headers: tuple[str, ...] = (),
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
+            *extra_headers,
         ]
         if status == 429:
             headers.append(f"Retry-After: {self.config.retry_after_seconds:g}")
@@ -236,8 +287,12 @@ class SolveServer:
     # Routing                                                             #
     # ------------------------------------------------------------------ #
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+        self, method: str, path: str, body: bytes, info: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any] | str]:
+        # ``info`` is filled for the access log: the request's disposition
+        # (cached / solved / rejected-429 / ...) and its workload pattern.
+        if info is None:
+            info = {}
         self.metrics.count("requests_total")
         if path == "/v1/health":
             if method != "GET":
@@ -247,11 +302,16 @@ class SolveServer:
             if method != "GET":
                 return 405, error_payload(f"{method} not allowed on {path}", 405)
             return 200, self._metrics()
+        if path == "/v1/metrics/prometheus":
+            if method != "GET":
+                return 405, error_payload(f"{method} not allowed on {path}", 405)
+            return 200, self._metrics_prometheus()
         if path == "/v1/solve":
             if method != "POST":
                 return 405, error_payload(f"{method} not allowed on {path}", 405)
-            return await self._solve(body)
+            return await self._solve(body, info)
         self.metrics.count("errors_404")
+        info["disposition"] = "not-found"
         return 404, error_payload(f"unknown path {path!r}", 404)
 
     def _health(self) -> dict[str, Any]:
@@ -272,6 +332,23 @@ class SolveServer:
         doc["in_flight"] = self._in_flight
         return doc
 
+    def _metrics_prometheus(self) -> str:
+        registry = self.metrics.registry
+        registry.gauge(
+            "repro_serve_uptime_seconds", "Seconds since the service started"
+        ).set(self.metrics.uptime_seconds)
+        registry.gauge(
+            "repro_serve_in_flight", "Admitted-but-unfinished solve requests"
+        ).set(float(self._in_flight))
+        for key, value in self.cache.stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(
+                f"repro_result_cache_{key}", f"Result-cache {key}"
+            ).set(float(value))
+        self.pool.publish_metrics(registry)
+        return registry.render_prometheus()
+
     # ------------------------------------------------------------------ #
     # The solve endpoint                                                  #
     # ------------------------------------------------------------------ #
@@ -286,15 +363,21 @@ class SolveServer:
         with self._admission_lock:
             self._in_flight -= 1
 
-    async def _solve(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    async def _solve(
+        self, body: bytes, info: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        if info is None:
+            info = {}
         started = monotonic()
         self.metrics.count("solve_requests")
         try:
             request = parse_solve_request(body)
         except ProtocolError as exc:
             self.metrics.count("solve_rejected_400")
+            info["disposition"] = f"invalid-{exc.status}"
             return exc.status, error_payload(str(exc), exc.status)
 
+        info["pattern"] = "/".join(str(part) for part in pattern_key(request.workload))
         spec = request.spec if request.spec is not None else self.pool.spec
         fingerprint = request_fingerprint(request.workload, spec, request.rhs)
         cached = self.cache.get(fingerprint)
@@ -302,11 +385,13 @@ class SolveServer:
             self.metrics.count("solve_cache_hits")
             elapsed = monotonic() - started
             self.metrics.observe_latency(elapsed)
+            info["disposition"] = "cached"
             return 200, {**cached, "cached": True, "solve_seconds": elapsed}
         self.metrics.count("solve_cache_misses")
 
         if not self._admit():
             self.metrics.count("solve_rejected_429")
+            info["disposition"] = "rejected-429"
             return 429, error_payload(
                 f"solve queue is full ({self.config.queue_limit} in flight); "
                 "retry later",
@@ -315,8 +400,14 @@ class SolveServer:
 
         entry = self.pool.entry_for(request.workload)
         loop = asyncio.get_running_loop()
+        # Carry the active trace context (if any) into the worker thread so
+        # the solve's spans nest under this request's "serve.request" span.
+        solve = entry.solve
+        state = capture_context()
+        if state is not None:
+            solve = partial(run_with_context, state, entry.solve)
         future = loop.run_in_executor(
-            self._executor, entry.solve, request.workload, spec, request.rhs
+            self._executor, solve, request.workload, spec, request.rhs
         )
         # Admission is released when the *thread* finishes, not when the
         # request is answered: a timed-out solve still occupies a worker.
@@ -326,6 +417,7 @@ class SolveServer:
             solution = await asyncio.wait_for(asyncio.shield(future), timeout)
         except asyncio.TimeoutError:
             self.metrics.count("solve_timeouts_504")
+            info["disposition"] = "timeout-504"
             # The worker thread keeps running under the session's workload
             # locks; retrieve its eventual outcome so nothing warns on GC.
             future.add_done_callback(lambda f: f.cancelled() or f.exception())
@@ -337,9 +429,11 @@ class SolveServer:
         except Exception as exc:  # noqa: BLE001 - mapped to wire statuses
             status = 400 if isinstance(exc, (ValueError, TypeError, KeyError)) else 500
             self.metrics.count(f"solve_errors_{status}")
+            info["disposition"] = f"error-{status}"
             return status, error_payload(f"solve failed: {exc}", status)
 
         elapsed = monotonic() - started
+        info["disposition"] = "solved"
         self.metrics.count("solve_completed")
         self.metrics.observe_latency(elapsed)
         # Cumulative coarse-problem wall seconds across completed solves —

@@ -1,0 +1,98 @@
+"""Structured logging: formatters, configuration, caplog interop."""
+
+import io
+import json
+import logging
+
+from repro.observe.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+def _reset_repro_logger():
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+def test_get_logger_prefixes_names():
+    assert get_logger("serve.access").name == "repro.serve.access"
+    assert get_logger("repro.bench").name == "repro.bench"
+
+
+def test_unconfigured_logs_propagate_to_caplog(caplog):
+    with caplog.at_level(logging.INFO, logger="repro.test"):
+        get_logger("repro.test").info("something_happened", count=3)
+    assert len(caplog.records) == 1
+    record = caplog.records[0]
+    assert record.repro_event == "something_happened"
+    assert record.repro_fields == {"count": 3}
+
+
+def test_key_value_formatter():
+    stream = io.StringIO()
+    try:
+        configure_logging(level="debug", stream=stream)
+        get_logger("repro.test").info(
+            "request", request_id="abc", status=200, latency_ms=1.5, note="two words"
+        )
+        line = stream.getvalue().strip()
+    finally:
+        _reset_repro_logger()
+    assert " info " in line
+    assert "repro.test" in line
+    assert "request" in line
+    assert "request_id=abc" in line
+    assert "status=200" in line
+    assert "latency_ms=1.5" in line
+    assert 'note="two words"' in line
+
+
+def test_json_formatter_one_object_per_line():
+    stream = io.StringIO()
+    try:
+        configure_logging(level="info", json_mode=True, stream=stream)
+        logger = get_logger("repro.test")
+        logger.info("first", a=1)
+        logger.warning("second", b="x")
+        lines = stream.getvalue().strip().splitlines()
+    finally:
+        _reset_repro_logger()
+    docs = [json.loads(line) for line in lines]
+    assert [d["event"] for d in docs] == ["first", "second"]
+    assert docs[0]["a"] == 1
+    assert docs[1]["b"] == "x"
+    assert docs[1]["level"] == "warning"
+    assert docs[0]["logger"] == "repro.test"
+    assert "ts" in docs[0]
+
+
+def test_level_threshold_filters():
+    stream = io.StringIO()
+    try:
+        configure_logging(level="warning", stream=stream)
+        logger = get_logger("repro.test")
+        logger.info("hidden")
+        logger.warning("shown")
+        output = stream.getvalue()
+    finally:
+        _reset_repro_logger()
+    assert "hidden" not in output
+    assert "shown" in output
+
+
+def test_formatters_are_importable_and_standalone():
+    record = logging.LogRecord(
+        name="repro.x", level=logging.INFO, pathname=__file__, lineno=1,
+        msg="event_name", args=(), exc_info=None,
+    )
+    record.repro_event = "event_name"
+    record.repro_fields = {"k": 1}
+    assert "event_name" in KeyValueFormatter().format(record)
+    doc = json.loads(JsonFormatter().format(record))
+    assert doc["event"] == "event_name"

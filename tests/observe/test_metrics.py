@@ -1,0 +1,148 @@
+"""The metrics registry: counters, gauges, histograms, rendering, threads."""
+
+import re
+import threading
+
+import pytest
+
+from repro.observe.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+)
+
+_HELP = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+_SAMPLE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$")
+
+
+def _assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        assert (
+            _HELP.match(line) or _TYPE.match(line) or _SAMPLE.match(line)
+        ), f"invalid exposition line: {line!r}"
+
+
+def test_counter_inc_and_value():
+    registry = MetricsRegistry()
+    c = registry.counter("repro_test_ops_total", "Operations")
+    assert c.value() == 0.0
+    c.inc()
+    c.inc(2.5)
+    assert c.value() == 3.5
+
+
+def test_counter_rejects_negative():
+    registry = MetricsRegistry()
+    c = registry.counter("repro_test_neg_total", "x")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_independent_series():
+    registry = MetricsRegistry()
+    c = registry.counter("repro_test_labeled_total", "x")
+    c.inc(status="200")
+    c.inc(status="200")
+    c.inc(status="500")
+    assert c.value(status="200") == 2.0
+    assert c.value(status="500") == 1.0
+    assert c.total() == 3.0
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    g = registry.gauge("repro_test_level", "x")
+    g.set(5.0)
+    g.inc(2.0)
+    g.dec(3.0)
+    assert g.value() == 4.0
+
+
+def test_histogram_buckets_cumulative():
+    registry = MetricsRegistry()
+    h = registry.histogram("repro_test_latency_seconds", "x", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    rendered = registry.render_prometheus()
+    assert 'repro_test_latency_seconds_bucket{le="0.1"} 1' in rendered
+    assert 'repro_test_latency_seconds_bucket{le="1"} 2' in rendered
+    assert 'repro_test_latency_seconds_bucket{le="+Inf"} 3' in rendered
+    assert "repro_test_latency_seconds_count 3" in rendered
+    assert "repro_test_latency_seconds_sum 5.55" in rendered
+
+
+def test_registry_rejects_invalid_names_and_kind_clashes():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.counter("bad name", "x")
+    registry.counter("repro_test_clash", "x")
+    with pytest.raises(ValueError):
+        registry.gauge("repro_test_clash", "x")
+
+
+def test_same_name_same_kind_returns_same_metric():
+    registry = MetricsRegistry()
+    a = registry.counter("repro_test_idem_total", "x")
+    b = registry.counter("repro_test_idem_total", "ignored second help")
+    assert a is b
+
+
+def test_render_prometheus_is_valid_exposition():
+    registry = MetricsRegistry()
+    registry.counter("repro_a_total", "Counts a").inc(3)
+    registry.gauge("repro_b", "Gauge b").set(1.5)
+    registry.counter("repro_c_total", "Labeled").inc(1, route="/v1/solve", code="200")
+    registry.histogram("repro_d_seconds", "Hist", buckets=DEFAULT_BUCKETS).observe(0.2)
+    text = registry.render_prometheus()
+    _assert_valid_exposition(text)
+    assert "# HELP repro_a_total Counts a" in text
+    assert "# TYPE repro_a_total counter" in text
+    assert 'repro_c_total{code="200",route="/v1/solve"} 1' in text
+
+
+def test_render_skips_metrics_without_samples():
+    registry = MetricsRegistry()
+    registry.counter("repro_never_touched_total", "x")
+    assert "repro_never_touched_total" not in registry.render_prometheus()
+
+
+def test_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("repro_snap_total", "x").inc(2)
+    registry.gauge("repro_snap_gauge", "x").set(7)
+    snap = registry.snapshot()
+    assert snap["repro_snap_total"] == 2.0
+    assert snap["repro_snap_gauge"] == 7.0
+
+
+def test_four_thread_hammer_loses_no_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_hammer_total", "x")
+    gauge = registry.gauge("repro_hammer_gauge", "x")
+    histogram = registry.histogram("repro_hammer_seconds", "x", buckets=(0.5,))
+    n_threads, per_thread = 4, 5000
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(worker: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            counter.inc()
+            counter.inc(1, worker=str(worker))
+            gauge.inc()
+            histogram.observe(0.1 if i % 2 else 0.9)
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected = n_threads * per_thread
+    assert counter.value() == expected
+    for w in range(n_threads):
+        assert counter.value(worker=str(w)) == per_thread
+    assert gauge.value() == expected
+    rendered = registry.render_prometheus()
+    assert f"repro_hammer_seconds_count {expected}" in rendered
+    _assert_valid_exposition(rendered)
